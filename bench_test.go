@@ -1,0 +1,210 @@
+package diffkv
+
+// One benchmark per paper table/figure (regenerating its rows/series in
+// fast mode), plus micro-benchmarks of the hot kernels. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The per-figure benchmarks print nothing; use cmd/diffkv-bench to see the
+// tables.
+
+import (
+	"testing"
+
+	"diffkv/internal/attention"
+	"diffkv/internal/experiments"
+	"diffkv/internal/kvcache"
+	"diffkv/internal/mathx"
+	"diffkv/internal/policy"
+	"diffkv/internal/quant"
+	"diffkv/internal/synth"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Run(id, experiments.Opts{Fast: true, Reps: 1, Seed: 42}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- one benchmark per paper artifact ---
+
+func BenchmarkFig2ScoreValueNormCDF(b *testing.B)       { benchExperiment(b, "fig2") }
+func BenchmarkFig3PerTokenScores(b *testing.B)          { benchExperiment(b, "fig3") }
+func BenchmarkFig4CriticalTokensPerLayer(b *testing.B)  { benchExperiment(b, "fig4") }
+func BenchmarkFig5CriticalTokensPerHead(b *testing.B)   { benchExperiment(b, "fig5") }
+func BenchmarkFig8DifferentiatedQuant(b *testing.B)     { benchExperiment(b, "fig8") }
+func BenchmarkFig9DynamicVsStatic(b *testing.B)         { benchExperiment(b, "fig9") }
+func BenchmarkFig10Calibration(b *testing.B)            { benchExperiment(b, "fig10") }
+func BenchmarkFig11MemoryAccuracyTradeoff(b *testing.B) { benchExperiment(b, "fig11") }
+func BenchmarkFig12CompressionBreakdown(b *testing.B)   { benchExperiment(b, "fig12") }
+func BenchmarkFig13CompactionLatency(b *testing.B)      { benchExperiment(b, "fig13") }
+func BenchmarkFig14LatencyBreakdown(b *testing.B)       { benchExperiment(b, "fig14") }
+func BenchmarkFig15KernelSpeedup(b *testing.B)          { benchExperiment(b, "fig15") }
+func BenchmarkFig16DynamicWorkloads(b *testing.B)       { benchExperiment(b, "fig16") }
+func BenchmarkFig17Throughput(b *testing.B)             { benchExperiment(b, "fig17") }
+func BenchmarkTable1AccuracyMemory(b *testing.B)        { benchExperiment(b, "tab1") }
+func BenchmarkTable2LongBench(b *testing.B)             { benchExperiment(b, "tab2") }
+func BenchmarkTable3ThinkingModels(b *testing.B)        { benchExperiment(b, "tab3") }
+
+// --- kernel micro-benchmarks ---
+
+func BenchmarkQuantizeK8(b *testing.B) {
+	rng := mathx.NewRNG(1)
+	src := make([]float32, 128)
+	rng.NormVec(src, 1)
+	dst := make([]byte, quant.PackedLen(128, 8))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		quant.QuantizeInto(src, 8, dst)
+	}
+}
+
+func BenchmarkQuantizeV2(b *testing.B) {
+	rng := mathx.NewRNG(2)
+	src := make([]float32, 128)
+	rng.NormVec(src, 1)
+	dst := make([]byte, quant.PackedLen(128, 2))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		quant.QuantizeInto(src, 2, dst)
+	}
+}
+
+func BenchmarkDequantDotK4(b *testing.B) {
+	rng := mathx.NewRNG(3)
+	k := make([]float32, 128)
+	q := make([]float32, 128)
+	rng.NormVec(k, 1)
+	rng.NormVec(q, 1)
+	data := make([]byte, quant.PackedLen(128, 4))
+	scale, zero := quant.QuantizeInto(k, 4, data)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		quant.DequantDot(q, data, 4, scale, zero)
+	}
+}
+
+func BenchmarkParallelExclusiveScan64K(b *testing.B) {
+	src := make([]int32, 65536)
+	dst := make([]int32, 65536)
+	for i := range src {
+		src[i] = int32(i % 5)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mathx.ParallelExclusiveScan(src, dst)
+	}
+}
+
+func BenchmarkFreeListAllocBatch(b *testing.B) {
+	// the coordination phase of parallel compaction: 2048 heads allocating
+	counts := make([]int32, 2048)
+	for i := range counts {
+		counts[i] = int32(i % 3)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		fl := kvcache.NewFreeList(8192)
+		b.StartTimer()
+		if _, err := fl.AllocBatch(counts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCompressedAttention1K(b *testing.B) {
+	rng := mathx.NewRNG(5)
+	mgr, err := kvcache.NewManager(kvcache.Config{
+		Dim: 128, PageBytes: 8192, NumPages: 256, MaxSeqLen: 2048, Materialize: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc, _ := mgr.AddSequence(1, 1)
+	hc := sc.Heads[0]
+	k := make([]float32, 128)
+	v := make([]float32, 128)
+	for j := 0; j < 1024; j++ {
+		rng.NormVec(k, 1)
+		rng.NormVec(v, 1)
+		lvl := kvcache.LevelHi
+		if j%3 != 0 {
+			lvl = kvcache.LevelLo
+		}
+		if err := hc.AppendToken(lvl, k, v, 1, int32(j)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	q := make([]float32, 128)
+	rng.NormVec(q, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		attention.Compressed(q, hc, nil)
+	}
+}
+
+func BenchmarkGenPolicyStep(b *testing.B) {
+	rng := mathx.NewRNG(7)
+	mgr, err := kvcache.NewManager(kvcache.Config{
+		Dim: 128, PageBytes: 8192, NumPages: 4096, MaxSeqLen: 1 << 20, Materialize: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc, _ := mgr.AddSequence(1, 1)
+	hc := sc.Heads[0]
+	gp, err := policy.NewGenPolicy(policy.ParamsLlama3, 128, 4096)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := make([]float32, 128)
+		v := make([]float32, 128)
+		rng.NormVec(k, 1)
+		rng.NormVec(v, 1)
+		gp.Sig.Seed(i, float32(rng.Float64()*2))
+		if _, err := gp.Step(hc, k, v, int32(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSynthGenHead512(b *testing.B) {
+	rng := mathx.NewRNG(9)
+	prof := synth.Profile(synth.Llama3_8B, 8, 0, 1, rng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		synth.GenHead(synth.Llama3_8B, prof, 512, rng)
+	}
+}
+
+func BenchmarkEngineSequence(b *testing.B) {
+	eng, err := NewEngine(EngineConfig{
+		Model:  Llama3_8B,
+		Params: DefaultParams("Llama3-8B"),
+		Seed:   1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.RunSequence(128, 96, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+// Command diffkv-calibrate sweeps the compression-policy thresholds
+// (αh, αl) for one model on the MATH training split and recommends the
+// best setting — the paper's Fig. 10 calibration workflow.
+//
+// Usage:
+//
+//	diffkv-calibrate -model Llama3-8B
+//	diffkv-calibrate -model QwQ-32B -seqs 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"diffkv"
+)
+
+func main() {
+	var (
+		modelName = flag.String("model", "Llama3-8B", "model to calibrate")
+		seqs      = flag.Int("seqs", 3, "calibration sequences per setting")
+		seed      = flag.Uint64("seed", 42, "random seed")
+	)
+	flag.Parse()
+
+	model, err := diffkv.ModelByName(*modelName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bench, err := diffkv.BenchmarkByName("MATH-train")
+	if err != nil {
+		log.Fatal(err)
+	}
+	promptLen, genLen := bench.EvalLen()
+
+	run := func(p diffkv.PolicyParams) (acc, mem float64) {
+		eng, err := diffkv.NewEngine(diffkv.EngineConfig{
+			Model: model, Params: p, DensityScale: bench.DensityScale, Seed: *seed,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		var errSum, memSum float64
+		for s := 0; s < *seqs; s++ {
+			res, err := eng.RunSequence(promptLen, genLen, uint64(s))
+			if err != nil {
+				log.Fatal(err)
+			}
+			errSum += res.OutputErr / float64(*seqs)
+			memSum += res.MemFrac / float64(*seqs)
+		}
+		return bench.Accuracy(model.Name, errSum), memSum
+	}
+
+	base := diffkv.DefaultParams(model.Name)
+	fp16 := bench.FP16[model.Name]
+	fmt.Printf("Calibrating %s on MATH-train (FP16 reference %.1f)\n\n", model.Name, fp16)
+
+	// Phase 1: αh sweep
+	fmt.Printf("%-6s %-10s %-8s\n", "αh", "accuracy", "memory")
+	bestAH, bestScore := base.AlphaH, -1.0
+	for _, ah := range []float64{1, 2, 3, 4, 5} {
+		p := base
+		p.AlphaH = ah
+		acc, mem := run(p)
+		fmt.Printf("%-6.0f %-10.1f %.1f%%\n", ah, acc, 100*mem)
+		// prefer accuracy, break ties toward less memory
+		score := acc - 2*mem
+		if score > bestScore {
+			bestScore, bestAH = score, ah
+		}
+	}
+
+	// Phase 2: αl sweep with the chosen αh
+	fmt.Printf("\n%-6s %-10s %-8s (αh=%.0f)\n", "αl", "accuracy", "memory", bestAH)
+	bestAL, bestScore2 := base.AlphaL, -1.0
+	for _, al := range []float64{0, 0.02, 0.04, 0.06, 0.08, 0.1} {
+		p := base
+		p.AlphaH = bestAH
+		p.AlphaL = al
+		acc, mem := run(p)
+		fmt.Printf("%-6.2f %-10.1f %.1f%%\n", al, acc, 100*mem)
+		score := acc - 2*mem
+		if score > bestScore2 {
+			bestScore2, bestAL = score, al
+		}
+	}
+
+	fmt.Printf("\nrecommended: αh=%.0f αl=%.2f (paper's choice for this family: αh=%.0f αl=%.2f)\n",
+		bestAH, bestAL, base.AlphaH, base.AlphaL)
+}

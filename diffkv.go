@@ -1,0 +1,198 @@
+// Package diffkv is the public API of the DiffKV reproduction: a
+// differentiated KV-cache compression and memory-management system for LLM
+// serving (Zhang et al., SOSP 2025), built on a calibrated simulation
+// substrate (see DESIGN.md).
+//
+// The package exposes three layers:
+//
+//   - the compression engine (NewEngine / Engine.RunSequence): runs the
+//     full DiffKV pipeline — prompt-phase classification, Algorithm 1
+//     generation-phase compression, paged storage, compressed attention —
+//     and reports fidelity and memory;
+//   - the serving simulator (NewServer / Server.Run): continuous batching
+//     with the real counts-mode page manager and the GPU cost model;
+//   - the experiment harnesses (RunExperiment): regenerate every table and
+//     figure of the paper's evaluation.
+//
+// Quick start:
+//
+//	eng, _ := diffkv.NewEngine(diffkv.EngineConfig{
+//	    Model:  diffkv.Llama3_8B,
+//	    Params: diffkv.DefaultParams("Llama3-8B"),
+//	})
+//	res, _ := eng.RunSequence(512, 512, 1)
+//	fmt.Printf("error %.3f at %.0f%% memory\n", res.OutputErr, 100*res.MemFrac)
+package diffkv
+
+import (
+	"diffkv/internal/baselines"
+	"diffkv/internal/core"
+	"diffkv/internal/experiments"
+	"diffkv/internal/gpusim"
+	"diffkv/internal/policy"
+	"diffkv/internal/quant"
+	"diffkv/internal/serving"
+	"diffkv/internal/synth"
+	"diffkv/internal/trace"
+	"diffkv/internal/workload"
+)
+
+// Model describes a served model's architecture (layers, KV heads, GQA
+// ratio, head dimension).
+type Model = synth.ModelConfig
+
+// The model zoo evaluated in the paper.
+var (
+	Llama3_8B  = synth.Llama3_8B
+	Llama31_8B = synth.Llama31_8B
+	Llama3_70B = synth.Llama3_70B
+	Qwen25_7B  = synth.Qwen25_7B
+	Qwen25_32B = synth.Qwen25_32B
+	QwQ_32B    = synth.QwQ_32B
+	R1Qwen_14B = synth.R1Qwen_14B
+	R1Llama_8B = synth.R1Llama_8B
+)
+
+// Models lists every configured model.
+var Models = synth.Models
+
+// ModelByName looks a model up by display name (e.g. "Llama3-8B").
+func ModelByName(name string) (*Model, error) { return synth.ModelByName(name) }
+
+// Precision is a differentiated key/value bit-width configuration.
+type Precision = quant.Precision
+
+// Standard precision tiers.
+var (
+	FP16 = quant.FP16
+	K8V8 = quant.K8V8
+	K8V4 = quant.K8V4
+	K4V2 = quant.K4V2
+	K8V2 = quant.K8V2
+	K4V4 = quant.K4V4
+)
+
+// PolicyParams are the calibrated compression-policy thresholds
+// (αh, αl, recent window W).
+type PolicyParams = policy.Params
+
+// DefaultParams returns the calibrated parameters for a model name
+// (paper Fig. 10).
+func DefaultParams(model string) PolicyParams { return policy.ParamsForModel(model) }
+
+// EngineConfig parameterizes the compression engine.
+type EngineConfig = core.Config
+
+// Engine runs the full DiffKV pipeline on synthetic sequences.
+type Engine = core.Engine
+
+// SequenceResult reports one sequence's fidelity, memory fraction and
+// tier breakdown.
+type SequenceResult = core.SequenceResult
+
+// NewEngine builds a compression engine.
+func NewEngine(cfg EngineConfig) (*Engine, error) { return core.NewEngine(cfg) }
+
+// Benchmark is one evaluation workload profile.
+type Benchmark = workload.Benchmark
+
+// The benchmark suites of the paper's evaluation.
+var (
+	BenchGSM8K     = workload.GSM8K
+	BenchMATH      = workload.MATH
+	BenchMMLU      = workload.MMLU
+	BenchMMLUPro   = workload.MMLUPro
+	BenchHumanEval = workload.HumanEvalPlus
+	BenchMBPP      = workload.MBPPPlus
+	BenchGPQA      = workload.GPQA
+	BenchAIME24    = workload.AIME24
+
+	CoreBenchmarks     = workload.CoreBenchmarks
+	ThinkingBenchmarks = workload.ThinkingBenchmarks
+	LongBench          = workload.LongBench
+)
+
+// BenchmarkByName finds a benchmark across all suites.
+func BenchmarkByName(name string) (*Benchmark, error) { return workload.ByName(name) }
+
+// ServerConfig parameterizes the serving simulator.
+type ServerConfig = serving.Config
+
+// Server is the discrete-event serving engine.
+type Server = serving.Engine
+
+// ServingResult aggregates throughput, batch size, latency and the
+// per-component step breakdown.
+type ServingResult = serving.Result
+
+// NewServer builds a serving engine.
+func NewServer(cfg ServerConfig) (*Server, error) { return serving.NewEngine(cfg) }
+
+// Device is the GPU hardware model; L40 is the paper's evaluation GPU.
+type Device = gpusim.Device
+
+// L40 returns the NVIDIA L40 device model (48 GB).
+func L40() *Device { return gpusim.L40() }
+
+// NewCluster groups n identical devices into a tensor-parallel cluster.
+func NewCluster(d *Device, n int) *gpusim.Cluster { return gpusim.NewCluster(d, n) }
+
+// Request is one serving request.
+type Request = workload.Request
+
+// NewRequestGen samples serving requests from a benchmark profile.
+func NewRequestGen(b *Benchmark, maxGenLen int, seed uint64) *workload.RequestGen {
+	return workload.NewRequestGen(b, maxGenLen, seed)
+}
+
+// ServingTraits describe how a compression method behaves inside the
+// serving engine (resident memory, attention bytes, host overheads).
+type ServingTraits = baselines.ServingTraits
+
+// TraitsFor returns the serving traits of a named method ("vLLM", "Quest",
+// "SnapKV", "Atom", "KIVI" or "DiffKV"). diffKVMemFrac is DiffKV's
+// measured resident memory fraction (ignored for other methods).
+func TraitsFor(name string, diffKVMemFrac float64) ServingTraits {
+	switch name {
+	case "Quest":
+		return baselines.TraitsQuest
+	case "SnapKV":
+		return baselines.TraitsSnapKV
+	case "Atom":
+		return baselines.TraitsAtom
+	case "KIVI":
+		return baselines.TraitsKIVI
+	case "DiffKV":
+		return baselines.TraitsDiffKV(diffKVMemFrac)
+	default:
+		return baselines.TraitsVLLM
+	}
+}
+
+// ExperimentOpts tune experiment cost (repetitions, fast mode, seed).
+type ExperimentOpts = experiments.Opts
+
+// ResultTable is a formatted experiment result.
+type ResultTable = experiments.Table
+
+// RunExperiment regenerates one of the paper's tables or figures by ID
+// (fig2..fig17, tab1..tab3).
+func RunExperiment(id string, o ExperimentOpts) ([]*ResultTable, error) {
+	return experiments.Run(id, o)
+}
+
+// ExperimentIDs lists the available experiment IDs.
+func ExperimentIDs() []string { return experiments.IDs() }
+
+// Tracer receives serving-engine events (admissions, preemptions,
+// completions, step timings); TraceCollector is the bounded in-memory
+// implementation.
+type Tracer = trace.Tracer
+
+// TraceCollector is a bounded in-memory tracer with summarization and
+// JSONL export.
+type TraceCollector = trace.Collector
+
+// NewTraceCollector creates a collector holding at most capacity events
+// (<=0 selects the default, 65536).
+func NewTraceCollector(capacity int) *TraceCollector { return trace.NewCollector(capacity) }

@@ -1,0 +1,53 @@
+// Longcontext: the LongBench scenario (Table 2) — a long document prompt
+// with a short generated answer. Compression error matters less here than
+// in long chains of thought (most text is ground truth in the prompt), but
+// memory savings matter more: the prompt dominates the KV cache.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"diffkv"
+)
+
+func main() {
+	model := diffkv.Llama31_8B
+
+	fmt.Println("Long-context workloads (LongBench, Table 2) — Llama3.1-8B")
+	fmt.Printf("%-12s %-10s %-10s %-14s\n", "benchmark", "FP16-acc", "DiffKV-acc", "DiffKV-memory")
+
+	for _, name := range []string{"Qasper", "HotpotQA", "GovReport", "TREC"} {
+		bench, err := diffkv.BenchmarkByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		eng, err := diffkv.NewEngine(diffkv.EngineConfig{
+			Model:        model,
+			Params:       diffkv.DefaultParams(model.Name),
+			DensityScale: bench.DensityScale,
+			Seed:         21,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		promptLen, genLen := bench.EvalLen()
+		var errSum, memSum float64
+		seqs := 2
+		for s := 0; s < seqs; s++ {
+			res, err := eng.RunSequence(promptLen, genLen, uint64(s))
+			if err != nil {
+				log.Fatal(err)
+			}
+			errSum += res.OutputErr / float64(seqs)
+			memSum += res.MemFrac / float64(seqs)
+		}
+		fmt.Printf("%-12s %-10.1f %-10.1f %.1f%%\n",
+			bench.Name, bench.FP16[model.Name],
+			bench.Accuracy(model.Name, errSum), 100*memSum)
+	}
+
+	fmt.Println("\nLong diffuse prompts prune hard: DiffKV reaches 10-19% of the FP16")
+	fmt.Println("cache — its deepest compression regime — while answers stay intact")
+	fmt.Println("because the generated span is short (paper §7.2).")
+}

@@ -1,0 +1,39 @@
+// Quickstart: compress one sequence with DiffKV and inspect fidelity,
+// memory and the token-tier breakdown.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"diffkv"
+)
+
+func main() {
+	eng, err := diffkv.NewEngine(diffkv.EngineConfig{
+		Model:  diffkv.Llama3_8B,
+		Params: diffkv.DefaultParams("Llama3-8B"), // αh=1, αl=0.02, W=64
+		Seed:   42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// one request: 512 prompt tokens, 512 generated tokens
+	res, err := eng.RunSequence(512, 512, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("DiffKV quickstart — Llama3-8B, 512+512 tokens")
+	fmt.Printf("  attention output error vs FP16: %.3f\n", res.OutputErr)
+	fmt.Printf("  KV memory vs vLLM FP16:         %.1f%%\n", 100*res.MemFrac)
+	fmt.Printf("  compression ratio:              %.1fx\n", 1/res.MemFrac)
+	fmt.Printf("  token tiers: %.0f%% high (K8V4), %.0f%% low (K4V2), %.0f%% pruned\n",
+		100*res.Breakdown.High, 100*res.Breakdown.Low, 100*res.Breakdown.Pruned)
+
+	// task-accuracy view through a benchmark profile
+	acc := diffkv.BenchGSM8K.Accuracy("Llama3-8B", res.OutputErr)
+	fmt.Printf("  modeled GSM8K accuracy: %.1f (FP16 reference %.1f)\n",
+		acc, diffkv.BenchGSM8K.FP16["Llama3-8B"])
+}

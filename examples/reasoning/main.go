@@ -1,0 +1,64 @@
+// Reasoning: the paper's hardest case — a thinking model (QwQ-32B)
+// generating a long chain of thought on a competition-math workload
+// (Table 3 scenario). Compares DiffKV against uniform-quantization and
+// pruning strategies under CoT error accumulation.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"diffkv"
+)
+
+func main() {
+	model := diffkv.QwQ_32B
+	bench := diffkv.BenchAIME24
+
+	fmt.Printf("Thinking-model workload: %s on %s (nominal generation %d tokens)\n",
+		model.Name, bench.Name, bench.GenLen)
+	fmt.Printf("CoT error amplification factor: %.2fx\n\n", bench.CoTFactor())
+
+	// DiffKV with the calibrated QwQ parameters (αh=3, αl=0)
+	eng, err := diffkv.NewEngine(diffkv.EngineConfig{
+		Model:        model,
+		Params:       diffkv.DefaultParams(model.Name),
+		DensityScale: bench.DensityScale,
+		Seed:         7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	promptLen, genLen := bench.EvalLen()
+	var errSum, memSum float64
+	seqs := 3
+	for s := 0; s < seqs; s++ {
+		res, err := eng.RunSequence(promptLen, genLen, uint64(s))
+		if err != nil {
+			log.Fatal(err)
+		}
+		errSum += res.OutputErr / float64(seqs)
+		memSum += res.MemFrac / float64(seqs)
+	}
+
+	fp16 := bench.FP16[model.Name]
+	fmt.Printf("%-28s %-10s %-8s\n", "method", "accuracy", "memory")
+	fmt.Printf("%-28s %-10.1f %-8s\n", "FP16 (reference)", fp16, "100%")
+	fmt.Printf("%-28s %-10.1f %.0f%%\n", "DiffKV (K8V4-K4V2, dynamic)",
+		bench.Accuracy(model.Name, errSum), 100*memSum)
+
+	// what uniform schemes would do under the same accumulation
+	for _, cfg := range []struct {
+		name string
+		err  float64
+	}{
+		{"uniform INT4 (illustrative)", errSum * 2.0},
+		{"uniform 2-bit (illustrative)", errSum * 6.0},
+		{"50% pruning (illustrative)", errSum * 4.0},
+	} {
+		fmt.Printf("%-28s %-10.1f\n", cfg.name, bench.Accuracy(model.Name, cfg.err))
+	}
+	fmt.Println("\nLong chains of thought compound compression error autoregressively;")
+	fmt.Println("only near-lossless schemes survive (paper Table 3). Run")
+	fmt.Println("`diffkv-bench -exp tab3` for the full measured comparison.")
+}

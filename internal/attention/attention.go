@@ -1,0 +1,168 @@
+// Package attention implements the attention kernels: an FP16-equivalent
+// reference path, a uniform-quantization path (for the Fig. 8 ablations),
+// and the compressed-cache path that reads DiffKV unified pages
+// (high-precision pages first, then low-precision — mirroring the warp
+// iteration order of the paper's CUDA kernel, §6.2) with on-the-fly
+// dequantization. It also accounts the HBM bytes each variant touches,
+// which gpusim converts to kernel time.
+package attention
+
+import (
+	"math"
+
+	"diffkv/internal/kvcache"
+	"diffkv/internal/mathx"
+	"diffkv/internal/policy"
+	"diffkv/internal/quant"
+)
+
+// TokenWeight is one token's attention weight, keyed by its original
+// position (positions survive compaction inside unified pages).
+type TokenWeight struct {
+	Pos    int32
+	Weight float32
+}
+
+// Result is one attention computation over one (query, head) pair.
+type Result struct {
+	// Output is the attention output vector (length dim).
+	Output []float32
+	// Weights lists the softmax weight of every token that participated
+	// (cached tokens and window tokens).
+	Weights []TokenWeight
+	// BytesRead is the KV payload+metadata bytes the kernel touched.
+	BytesRead int
+}
+
+// Reference computes exact attention of query q over uncompressed keys and
+// values — the FP16 baseline. keys and vals must have equal length.
+func Reference(q []float32, keys, vals [][]float32) Result {
+	n := len(keys)
+	dim := len(q)
+	logits := make([]float32, n)
+	invSqrt := float32(1 / math.Sqrt(float64(dim)))
+	for j := 0; j < n; j++ {
+		logits[j] = mathx.Dot(q, keys[j]) * invSqrt
+	}
+	weights := mathx.Softmax(logits, logits)
+	out := make([]float32, dim)
+	tw := make([]TokenWeight, n)
+	for j := 0; j < n; j++ {
+		mathx.Axpy(weights[j], vals[j], out)
+		tw[j] = TokenWeight{Pos: int32(j), Weight: weights[j]}
+	}
+	return Result{
+		Output:    out,
+		Weights:   tw,
+		BytesRead: n * quant.FP16.TokenBytes(dim),
+	}
+}
+
+// Uniform computes attention with every key/value quantized at one
+// precision — the uniform-quantization ablation of Fig. 8 (K8V4, K4V8,
+// K8V2, K4V2, K2V4, K4V1 applied to all tokens). Quantization is performed
+// per vector exactly as the cache would store it.
+func Uniform(q []float32, keys, vals [][]float32, prec quant.Precision) Result {
+	n := len(keys)
+	dim := len(q)
+	logits := make([]float32, n)
+	invSqrt := float32(1 / math.Sqrt(float64(dim)))
+	kbuf := make([]byte, quant.PackedLen(dim, prec.KeyBits))
+	vbuf := make([]byte, quant.PackedLen(dim, prec.ValBits))
+	vmeta := make([][2]float32, n)
+	vdata := make([][]byte, n)
+	for j := 0; j < n; j++ {
+		ks, kz := quant.QuantizeInto(keys[j], prec.KeyBits, kbuf)
+		logits[j] = quant.DequantDot(q, kbuf, prec.KeyBits, ks, kz) * invSqrt
+		vs, vz := quant.QuantizeInto(vals[j], prec.ValBits, vbuf)
+		vmeta[j] = [2]float32{vs, vz}
+		vdata[j] = append([]byte(nil), vbuf...)
+	}
+	weights := mathx.Softmax(logits, logits)
+	out := make([]float32, dim)
+	tw := make([]TokenWeight, n)
+	for j := 0; j < n; j++ {
+		quant.DequantAxpy(weights[j], vdata[j], prec.ValBits, dim, vmeta[j][0], vmeta[j][1], out)
+		tw[j] = TokenWeight{Pos: int32(j), Weight: weights[j]}
+	}
+	return Result{
+		Output:    out,
+		Weights:   tw,
+		BytesRead: n * prec.TokenBytes(dim),
+	}
+}
+
+// Compressed computes attention over a DiffKV head cache plus the
+// uncompressed recent window. High-precision pages are processed first,
+// then low-precision pages, then the window (which the real kernel reads
+// from the high-precision tier).
+func Compressed(q []float32, hc *kvcache.HeadCache, window []policy.WindowToken) Result {
+	dim := len(q)
+	invSqrt := float32(1 / math.Sqrt(float64(dim)))
+
+	type ref struct {
+		page *kvcache.Page
+		slot int
+	}
+	var refs []ref
+	var logits []float32
+	var positions []int32
+	bytes := 0
+
+	collect := func(level kvcache.Level) {
+		hc.ForEachToken(level, func(p *kvcache.Page, slot int) {
+			kd, ks, kz := p.KeyData(slot)
+			logits = append(logits, quant.DequantDot(q, kd, p.Prec.KeyBits, ks, kz)*invSqrt)
+			refs = append(refs, ref{p, slot})
+			positions = append(positions, p.Position(slot))
+			bytes += p.Prec.TokenBytes(dim)
+		})
+	}
+	collect(kvcache.LevelHi)
+	collect(kvcache.LevelLo)
+
+	for _, w := range window {
+		logits = append(logits, mathx.Dot(q, w.Key)*invSqrt)
+		refs = append(refs, ref{nil, 0})
+		positions = append(positions, w.Pos)
+		bytes += quant.FP16.TokenBytes(dim)
+	}
+
+	weights := mathx.Softmax(logits, logits)
+	out := make([]float32, dim)
+	tw := make([]TokenWeight, len(weights))
+	wi := 0
+	for j, r := range refs {
+		if r.page != nil {
+			vd, vs, vz := r.page.ValData(r.slot)
+			quant.DequantAxpy(weights[j], vd, r.page.Prec.ValBits, dim, vs, vz, out)
+		} else {
+			mathx.Axpy(weights[j], window[wi].Val, out)
+			wi++
+		}
+		tw[j] = TokenWeight{Pos: positions[j], Weight: weights[j]}
+	}
+	return Result{Output: out, Weights: tw, BytesRead: bytes}
+}
+
+// OutputError returns the relative L2 error of a compressed attention
+// output against the reference output — the fidelity signal the accuracy
+// model consumes.
+func OutputError(compressed, reference []float32) float64 {
+	return mathx.RelErr(compressed, reference)
+}
+
+// MaxAggregate folds per-query-head weights into per-position significance
+// scores using the max operation across the GQA group (paper §4), then
+// returns position → score.
+func MaxAggregate(results []Result) map[int32]float32 {
+	agg := make(map[int32]float32)
+	for _, r := range results {
+		for _, tw := range r.Weights {
+			if cur, ok := agg[tw.Pos]; !ok || tw.Weight > cur {
+				agg[tw.Pos] = tw.Weight
+			}
+		}
+	}
+	return agg
+}

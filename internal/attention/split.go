@@ -1,0 +1,182 @@
+package attention
+
+import (
+	"math"
+
+	"diffkv/internal/kvcache"
+	"diffkv/internal/mathx"
+	"diffkv/internal/policy"
+	"diffkv/internal/quant"
+)
+
+// Partial is the result of attention over one segment of the sequence in a
+// merge-friendly form: the un-normalized weighted value sum, the softmax
+// normalizer, and the running max logit (log-sum-exp bookkeeping). This is
+// the representation the paper's kernel uses for its sequence-dimension
+// parallelization (§6.2): segments are processed by separate thread blocks
+// and merged "with minimal computation overhead".
+type Partial struct {
+	// Acc is Σ_j exp(l_j - MaxLogit) · v_j.
+	Acc []float32
+	// Denom is Σ_j exp(l_j - MaxLogit).
+	Denom float64
+	// MaxLogit is the maximum logit seen in this segment.
+	MaxLogit float64
+	// BytesRead accounts the KV bytes this segment touched.
+	BytesRead int
+	// Weights carries per-token (position, exp(l-Max)) pairs so callers
+	// can reconstruct normalized weights after the merge.
+	Weights []TokenWeight
+}
+
+// newPartial returns an identity partial (merging with it is a no-op).
+func newPartial(dim int) *Partial {
+	return &Partial{Acc: make([]float32, dim), MaxLogit: math.Inf(-1)}
+}
+
+// addToken folds one (logit, value) pair into the partial, rescaling the
+// accumulator when a new max logit arrives.
+func (p *Partial) addToken(logit float64, addValue func(w float32, dst []float32), pos int32) {
+	if logit > p.MaxLogit {
+		if !math.IsInf(p.MaxLogit, -1) {
+			scale := float32(math.Exp(p.MaxLogit - logit))
+			mathx.Scale(scale, p.Acc)
+			p.Denom *= float64(scale)
+			for i := range p.Weights {
+				p.Weights[i].Weight *= scale
+			}
+		}
+		p.MaxLogit = logit
+	}
+	w := float32(math.Exp(logit - p.MaxLogit))
+	addValue(w, p.Acc)
+	p.Denom += float64(w)
+	p.Weights = append(p.Weights, TokenWeight{Pos: pos, Weight: w})
+}
+
+// Merge folds another partial into p (associative, order-independent up to
+// float rounding) — the minimal-overhead reduction of §6.2.
+func (p *Partial) Merge(o *Partial) {
+	if math.IsInf(o.MaxLogit, -1) {
+		return
+	}
+	if math.IsInf(p.MaxLogit, -1) {
+		p.Acc = append(p.Acc[:0], o.Acc...)
+		p.Denom = o.Denom
+		p.MaxLogit = o.MaxLogit
+		p.BytesRead += o.BytesRead
+		p.Weights = append(p.Weights, o.Weights...)
+		return
+	}
+	m := math.Max(p.MaxLogit, o.MaxLogit)
+	ps := float32(math.Exp(p.MaxLogit - m))
+	os := float32(math.Exp(o.MaxLogit - m))
+	mathx.Scale(ps, p.Acc)
+	for i := range p.Weights {
+		p.Weights[i].Weight *= ps
+	}
+	for i, v := range o.Acc {
+		p.Acc[i] += os * v
+	}
+	base := len(p.Weights)
+	p.Weights = append(p.Weights, o.Weights...)
+	for i := base; i < len(p.Weights); i++ {
+		p.Weights[i].Weight *= os
+	}
+	p.Denom = p.Denom*float64(ps) + o.Denom*float64(os)
+	p.MaxLogit = m
+	p.BytesRead += o.BytesRead
+}
+
+// Finalize converts the partial into a normalized attention Result.
+func (p *Partial) Finalize() Result {
+	out := make([]float32, len(p.Acc))
+	if p.Denom > 0 {
+		inv := float32(1 / p.Denom)
+		for i, v := range p.Acc {
+			out[i] = v * inv
+		}
+		for i := range p.Weights {
+			p.Weights[i].Weight *= inv
+		}
+	}
+	return Result{Output: out, Weights: p.Weights, BytesRead: p.BytesRead}
+}
+
+// CompressedSplit computes the same attention as Compressed but processes
+// the cache in `splits` independent sequence segments (each a candidate for
+// a separate thread block on the GPU) and merges the partials. Results
+// match Compressed up to float rounding; the point is exercising the
+// parallel decomposition for ultra-long sequences.
+func CompressedSplit(q []float32, hc *kvcache.HeadCache, window []policy.WindowToken, splits int) Result {
+	dim := len(q)
+	if splits < 1 {
+		splits = 1
+	}
+	invSqrt := float32(1 / math.Sqrt(float64(dim)))
+
+	// collect token accessors in kernel order (hi pages, lo pages, window)
+	type tok struct {
+		logit float64
+		add   func(w float32, dst []float32)
+		pos   int32
+		bytes int
+	}
+	var toks []tok
+	collect := func(level kvcache.Level) {
+		hc.ForEachToken(level, func(pg *kvcache.Page, slot int) {
+			kd, ks, kz := pg.KeyData(slot)
+			logit := float64(quant.DequantDot(q, kd, pg.Prec.KeyBits, ks, kz) * invSqrt)
+			pgc, slotc := pg, slot
+			toks = append(toks, tok{
+				logit: logit,
+				add: func(w float32, dst []float32) {
+					vd, vs, vz := pgc.ValData(slotc)
+					quant.DequantAxpy(w, vd, pgc.Prec.ValBits, dim, vs, vz, dst)
+				},
+				pos:   pg.Position(slot),
+				bytes: pg.Prec.TokenBytes(dim),
+			})
+		})
+	}
+	collect(kvcache.LevelHi)
+	collect(kvcache.LevelLo)
+	for _, w := range window {
+		wc := w
+		toks = append(toks, tok{
+			logit: float64(mathx.Dot(q, wc.Key) * invSqrt),
+			add:   func(wt float32, dst []float32) { mathx.Axpy(wt, wc.Val, dst) },
+			pos:   wc.Pos,
+			bytes: quant.FP16.TokenBytes(dim),
+		})
+	}
+
+	if len(toks) == 0 {
+		return Result{Output: make([]float32, dim)}
+	}
+	if splits > len(toks) {
+		splits = len(toks)
+	}
+	partials := make([]*Partial, splits)
+	per := (len(toks) + splits - 1) / splits
+	mathx.ParallelFor(splits, func(s int) {
+		p := newPartial(dim)
+		lo, hi := s*per, (s+1)*per
+		if lo > len(toks) {
+			lo = len(toks)
+		}
+		if hi > len(toks) {
+			hi = len(toks)
+		}
+		for _, t := range toks[lo:hi] {
+			p.addToken(t.logit, t.add, t.pos)
+			p.BytesRead += t.bytes
+		}
+		partials[s] = p
+	})
+	merged := partials[0]
+	for _, p := range partials[1:] {
+		merged.Merge(p)
+	}
+	return merged.Finalize()
+}

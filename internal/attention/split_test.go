@@ -1,0 +1,144 @@
+package attention
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"diffkv/internal/kvcache"
+	"diffkv/internal/mathx"
+	"diffkv/internal/policy"
+)
+
+func TestCompressedSplitMatchesUnsplit(t *testing.T) {
+	rng := mathx.NewRNG(1)
+	dim := 64
+	q, keys, vals := genKV(rng, 200, dim)
+	_, hc := newTestCache(t, dim)
+	for j := 0; j < 150; j++ {
+		lvl := kvcache.LevelHi
+		if j%2 == 0 {
+			lvl = kvcache.LevelLo
+		}
+		hc.AppendToken(lvl, keys[j], vals[j], 1, int32(j))
+	}
+	var window []policy.WindowToken
+	for j := 150; j < 200; j++ {
+		window = append(window, policy.WindowToken{Key: keys[j], Val: vals[j], Pos: int32(j)})
+	}
+	base := Compressed(q, hc, window)
+	for _, splits := range []int{1, 2, 4, 8, 64} {
+		split := CompressedSplit(q, hc, window, splits)
+		if e := mathx.RelErr(split.Output, base.Output); e > 1e-4 {
+			t.Fatalf("splits=%d diverges from unsplit: %v", splits, e)
+		}
+		if split.BytesRead != base.BytesRead {
+			t.Fatalf("splits=%d bytes %d != %d", splits, split.BytesRead, base.BytesRead)
+		}
+		var sum float64
+		for _, tw := range split.Weights {
+			sum += float64(tw.Weight)
+		}
+		if math.Abs(sum-1) > 1e-4 {
+			t.Fatalf("splits=%d weights sum to %v", splits, sum)
+		}
+	}
+}
+
+func TestCompressedSplitEmpty(t *testing.T) {
+	_, hc := newTestCache(t, 32)
+	q := make([]float32, 32)
+	res := CompressedSplit(q, hc, nil, 4)
+	for _, v := range res.Output {
+		if v != 0 {
+			t.Fatal("empty attention should be zero")
+		}
+	}
+}
+
+func TestCompressedSplitMoreSplitsThanTokens(t *testing.T) {
+	rng := mathx.NewRNG(2)
+	dim := 32
+	q, keys, vals := genKV(rng, 3, dim)
+	_, hc := newTestCache(t, dim)
+	for j := range keys {
+		hc.AppendToken(kvcache.LevelHi, keys[j], vals[j], 1, int32(j))
+	}
+	res := CompressedSplit(q, hc, nil, 100)
+	base := Compressed(q, hc, nil)
+	if e := mathx.RelErr(res.Output, base.Output); e > 1e-5 {
+		t.Fatalf("oversplit diverges: %v", e)
+	}
+}
+
+func TestPartialMergeIdentity(t *testing.T) {
+	p := newPartial(4)
+	o := newPartial(4)
+	p.Merge(o) // identity merge
+	if !math.IsInf(p.MaxLogit, -1) || p.Denom != 0 {
+		t.Fatal("identity merge corrupted partial")
+	}
+}
+
+func TestPartialMergeAssociativityProperty(t *testing.T) {
+	// ((A ⊕ B) ⊕ C) must equal (A ⊕ (B ⊕ C)) up to rounding.
+	f := func(rawLogits []int8) bool {
+		if len(rawLogits) < 6 {
+			return true
+		}
+		if len(rawLogits) > 30 {
+			rawLogits = rawLogits[:30]
+		}
+		dim := 4
+		rng := mathx.NewRNG(uint64(len(rawLogits)))
+		vals := make([][]float32, len(rawLogits))
+		for i := range vals {
+			v := make([]float32, dim)
+			rng.NormVec(v, 1)
+			vals[i] = v
+		}
+		build := func(lo, hi int) *Partial {
+			p := newPartial(dim)
+			for i := lo; i < hi; i++ {
+				v := vals[i]
+				p.addToken(float64(rawLogits[i])/16,
+					func(w float32, dst []float32) { mathx.Axpy(w, v, dst) }, int32(i))
+			}
+			return p
+		}
+		third := len(rawLogits) / 3
+		// left association
+		l := build(0, third)
+		l.Merge(build(third, 2*third))
+		l.Merge(build(2*third, len(rawLogits)))
+		// right association
+		mid := build(third, 2*third)
+		mid.Merge(build(2*third, len(rawLogits)))
+		r := build(0, third)
+		r.Merge(mid)
+		lr := l.Finalize()
+		rr := r.Finalize()
+		return mathx.RelErr(lr.Output, rr.Output) < 1e-4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartialNumericalStabilityExtremeLogits(t *testing.T) {
+	// huge logit spread must not overflow (log-sum-exp bookkeeping)
+	dim := 2
+	p := newPartial(dim)
+	v1 := []float32{1, 0}
+	v2 := []float32{0, 1}
+	p.addToken(-300, func(w float32, dst []float32) { mathx.Axpy(w, v1, dst) }, 0)
+	p.addToken(300, func(w float32, dst []float32) { mathx.Axpy(w, v2, dst) }, 1)
+	res := p.Finalize()
+	if math.IsNaN(float64(res.Output[0])) || math.IsNaN(float64(res.Output[1])) {
+		t.Fatal("NaN under extreme logits")
+	}
+	// token with logit 300 dominates completely
+	if res.Output[1] < 0.999 {
+		t.Fatalf("dominant token weight = %v", res.Output[1])
+	}
+}

@@ -1,0 +1,160 @@
+package baselines
+
+import (
+	"diffkv/internal/mathx"
+	"diffkv/internal/quant"
+	"diffkv/internal/synth"
+)
+
+// INT4Atom is the Atom/QServe-style uniform 4-bit baseline: every key and
+// value quantized at 4 bits with group-wise scales (group size 32), which
+// contains outlier channels within their group.
+type INT4Atom struct {
+	// GroupSize defaults to 32.
+	GroupSize int
+}
+
+// Name implements Method.
+func (INT4Atom) Name() string { return "INT4" }
+
+func (m INT4Atom) groupSize() int {
+	if m.GroupSize > 0 {
+		return m.GroupSize
+	}
+	return 32
+}
+
+// Evaluate implements Method.
+func (m INT4Atom) Evaluate(model *synth.ModelConfig, data *synth.HeadData, sig []float32, probes int, rng *mathx.RNG) EvalResult {
+	g := m.groupSize()
+	n := data.Len()
+	keys := make([][]float32, n)
+	vals := make([][]float32, n)
+	for j := 0; j < n; j++ {
+		keys[j] = quant.RoundTripGrouped(data.Keys[j], 4, g)
+		vals[j] = quant.RoundTripGrouped(data.Vals[j], 4, g)
+	}
+	e := probeErr(data, probes, rng, func(q []float32) []float32 {
+		return reconAttention(q, keys, vals)
+	})
+	perToken := quant.GroupedTokenBytes(data.Dim, quant.K4V4, g)
+	return EvalResult{
+		OutputErr: e,
+		MemFrac:   float64(perToken) / float64(fp16PayloadBytes(data.Dim)),
+	}
+}
+
+// KIVI is the 2-bit asymmetric quantization baseline: all but the most
+// recent ResidualLen tokens are stored at 2 bits — keys quantized
+// per-channel (so persistent outlier channels get their own scale, KIVI's
+// central design point), values per-token — while the residual window
+// stays FP16.
+type KIVI struct {
+	// ResidualLen defaults to 128.
+	ResidualLen int
+	// GroupSize defaults to 64 (KIVI groups along larger spans than Atom).
+	GroupSize int
+}
+
+// Name implements Method.
+func (KIVI) Name() string { return "KIVI" }
+
+// Evaluate implements Method.
+func (m KIVI) Evaluate(model *synth.ModelConfig, data *synth.HeadData, sig []float32, probes int, rng *mathx.RNG) EvalResult {
+	res := m.ResidualLen
+	if res <= 0 {
+		res = 128
+	}
+	g := m.GroupSize
+	if g <= 0 {
+		g = 64
+	}
+	n := data.Len()
+	cut := n - res
+	if cut < 0 {
+		cut = 0
+	}
+	keys := make([][]float32, n)
+	vals := make([][]float32, n)
+	// keys: per-channel 2-bit across the compressed block (outlier
+	// channels get their own scale — KIVI's key insight); values:
+	// per-token 2-bit
+	recKeys := quant.RoundTripPerChannel(data.Keys[:cut], 2)
+	for j := 0; j < n; j++ {
+		if j < cut {
+			keys[j] = recKeys[j]
+			vals[j] = quant.RoundTripGrouped(data.Vals[j], 2, g)
+		} else {
+			keys[j] = data.Keys[j]
+			vals[j] = data.Vals[j]
+		}
+	}
+	e := probeErr(data, probes, rng, func(q []float32) []float32 {
+		return reconAttention(q, keys, vals)
+	})
+	qBytes := cut * quant.GroupedTokenBytes(data.Dim, quant.K2V2, g)
+	fpBytes := (n - cut) * fp16PayloadBytes(data.Dim)
+	return EvalResult{
+		OutputErr: e,
+		MemFrac:   float64(qBytes+fpBytes) / float64(n*fp16PayloadBytes(data.Dim)),
+	}
+}
+
+// QAQ is the quality-adaptive quantization baseline: per-token precision
+// chosen by importance (group-wise quantization), but — unlike DiffKV —
+// keys and values share the same width, the assignment is static per
+// token, and nothing is pruned.
+type QAQ struct{}
+
+// Name implements Method.
+func (QAQ) Name() string { return "QAQ" }
+
+// Evaluate implements Method: top 10% of tokens at 8 bits, next 40% at
+// 4 bits, the rest at 2 bits (per-vector quantization, matching the
+// paper's characterization of QAQ as importance-aware but K/V-uniform).
+func (QAQ) Evaluate(model *synth.ModelConfig, data *synth.HeadData, sig []float32, probes int, rng *mathx.RNG) EvalResult {
+	n := data.Len()
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	// rank by significance descending
+	sortBySigDesc(idx, sig)
+	bits := make([]int, n)
+	for rank, j := range idx {
+		switch {
+		case rank < n/10:
+			bits[j] = 8
+		case rank < n/2:
+			bits[j] = 4
+		default:
+			bits[j] = 2
+		}
+	}
+	keys := make([][]float32, n)
+	vals := make([][]float32, n)
+	var bytes int
+	for j := 0; j < n; j++ {
+		keys[j] = quant.RoundTripGrouped(data.Keys[j], bits[j], 32)
+		vals[j] = quant.RoundTripGrouped(data.Vals[j], bits[j], 32)
+		bytes += quant.GroupedTokenBytes(data.Dim, quant.Precision{KeyBits: bits[j], ValBits: bits[j]}, 32)
+	}
+	e := probeErr(data, probes, rng, func(q []float32) []float32 {
+		return reconAttention(q, keys, vals)
+	})
+	return EvalResult{
+		OutputErr: e,
+		MemFrac:   float64(bytes) / float64(n*fp16PayloadBytes(data.Dim)),
+	}
+}
+
+func sortBySigDesc(idx []int, sig []float32) {
+	// insertion-free stdlib sort with a stable tiebreak on position
+	lessFn := func(a, b int) bool {
+		if sig[idx[a]] != sig[idx[b]] {
+			return sig[idx[a]] > sig[idx[b]]
+		}
+		return idx[a] < idx[b]
+	}
+	sortSlice(idx, lessFn)
+}

@@ -1,0 +1,95 @@
+package baselines
+
+import (
+	"math"
+	"sort"
+
+	"diffkv/internal/mathx"
+	"diffkv/internal/synth"
+)
+
+// mathInfNeg is the float32 negative-infinity seed for max reductions.
+var mathInfNeg = float32(math.Inf(-1))
+
+// Quest is the query-aware partial-loading baseline: the full FP16 cache
+// stays resident (no memory saving for batching), but each query loads
+// only the most promising pages, estimated from per-page min/max key
+// envelopes. Its speedup comes from reading fewer bytes; its accuracy cost
+// comes from pages the estimate misses.
+type Quest struct {
+	// PageSize is the tokens-per-page granularity of selection
+	// (default 16).
+	PageSize int
+	// Budget is the fraction of pages loaded per query (default 0.5, the
+	// Table 1 setting).
+	Budget float64
+}
+
+// Name implements Method.
+func (Quest) Name() string { return "Quest" }
+
+// Evaluate implements Method.
+func (m Quest) Evaluate(model *synth.ModelConfig, data *synth.HeadData, sig []float32, probes int, rng *mathx.RNG) EvalResult {
+	ps := m.PageSize
+	if ps <= 0 {
+		ps = 16
+	}
+	budget := m.Budget
+	if budget <= 0 {
+		budget = 0.5
+	}
+	n := data.Len()
+	numPages := (n + ps - 1) / ps
+
+	loadPages := int(budget * float64(numPages))
+	if loadPages < 1 {
+		loadPages = 1
+	}
+
+	e := probeErr(data, probes, rng, func(q []float32) []float32 {
+		// Page criticality: Quest's min/max channel envelope upper-bounds
+		// the page's maximum q·k. On this substrate the persistent key
+		// outlier channels make the envelope bound loose in the same way
+		// for every page, so we use the bounded quantity itself — the
+		// per-page maximum dot product — as the idealized (best-case)
+		// Quest estimate. Quest's accuracy here is therefore an upper
+		// bound on the real system's.
+		type pageScore struct {
+			p     int
+			score float32
+		}
+		scores := make([]pageScore, numPages)
+		for p := 0; p < numPages; p++ {
+			lo, hi := p*ps, (p+1)*ps
+			if hi > n {
+				hi = n
+			}
+			best := float32(mathInfNeg)
+			for j := lo; j < hi; j++ {
+				s := mathx.Dot(q, data.Keys[j])
+				if s > best {
+					best = s
+				}
+			}
+			scores[p] = pageScore{p, best}
+		}
+		sort.Slice(scores, func(a, b int) bool { return scores[a].score > scores[b].score })
+		var idx []int
+		for _, psel := range scores[:loadPages] {
+			lo, hi := psel.p*ps, (psel.p+1)*ps
+			if hi > n {
+				hi = n
+			}
+			for j := lo; j < hi; j++ {
+				idx = append(idx, j)
+			}
+		}
+		sort.Ints(idx)
+		return subsetAttention(q, data.Keys, data.Vals, idx)
+	})
+
+	// Reported per the paper's convention: the loading budget. The
+	// *resident* memory is the full cache — serving experiments use
+	// ServingTraits for that distinction.
+	return EvalResult{OutputErr: e, MemFrac: budget}
+}

@@ -1,0 +1,57 @@
+package baselines
+
+// ServingTraits captures how a method behaves inside the serving engine
+// (Fig. 17): how much resident KV memory it needs per token (which bounds
+// batch size), how many bytes its attention reads per cached token
+// (which bounds attention-kernel time), and host-side overhead factors.
+type ServingTraits struct {
+	Name string
+	// ResidentMemFrac is resident KV bytes per token relative to vLLM
+	// FP16 (this bounds achievable batch size).
+	ResidentMemFrac float64
+	// AttnBytesFrac is the attention-read bytes per token relative to
+	// FP16 (this bounds attention time). For Quest this is below the
+	// resident fraction; for everyone else they coincide.
+	AttnBytesFrac float64
+	// FrameworkOverhead multiplies per-step host time. Atom and KIVI run
+	// on HuggingFace Transformers, which the paper identifies as lacking
+	// fused kernels and adding framework overhead (§7.3).
+	FrameworkOverhead float64
+	// EstimateCost is the extra per-step fraction of attention time spent
+	// estimating token importance (Quest's page scoring).
+	EstimateCost float64
+}
+
+// Traits for the serving comparison. DiffKV's resident fraction is
+// workload-dependent and supplied by the caller from engine measurements.
+var (
+	TraitsVLLM = ServingTraits{
+		Name: "vLLM", ResidentMemFrac: 1, AttnBytesFrac: 1,
+		FrameworkOverhead: 1,
+	}
+	TraitsQuest = ServingTraits{
+		Name: "Quest", ResidentMemFrac: 1, AttnBytesFrac: 0.5,
+		FrameworkOverhead: 1, EstimateCost: 0.25,
+	}
+	TraitsSnapKV = ServingTraits{
+		Name: "SnapKV", ResidentMemFrac: 0.5, AttnBytesFrac: 0.5,
+		FrameworkOverhead: 1,
+	}
+	TraitsAtom = ServingTraits{
+		Name: "Atom", ResidentMemFrac: 0.39, AttnBytesFrac: 0.39,
+		FrameworkOverhead: 2.2,
+	}
+	TraitsKIVI = ServingTraits{
+		Name: "KIVI", ResidentMemFrac: 0.20, AttnBytesFrac: 0.20,
+		FrameworkOverhead: 2.2,
+	}
+)
+
+// TraitsDiffKV builds DiffKV's traits from a measured resident fraction
+// (e.g. engine MemFrac for the workload).
+func TraitsDiffKV(memFrac float64) ServingTraits {
+	return ServingTraits{
+		Name: "DiffKV", ResidentMemFrac: memFrac, AttnBytesFrac: memFrac,
+		FrameworkOverhead: 1,
+	}
+}

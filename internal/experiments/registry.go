@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Runner is one experiment harness.
+type Runner func(Opts) []*Table
+
+// Registry maps experiment IDs (paper artifact names) to their harnesses.
+var Registry = map[string]Runner{
+	"fig2":  Fig2,
+	"fig3":  Fig3,
+	"fig4":  Fig4,
+	"fig5":  Fig5,
+	"fig8":  Fig8,
+	"fig9":  Fig9,
+	"fig10": Fig10,
+	"fig11": Fig11,
+	"fig12": Fig12,
+	"fig13": Fig13,
+	"fig14": Fig14,
+	"fig15": Fig15,
+	"fig16": Fig16,
+	"fig17": Fig17,
+	"tab1":  Table1,
+	"tab2":  Table2,
+	"tab3":  Table3,
+	// design-choice ablations beyond the paper's headline results
+	// (DESIGN.md §6)
+	"abl-scan":     AblationScan,
+	"abl-tables":   AblationTables,
+	"abl-window":   AblationWindow,
+	"abl-pagesize": AblationPageSize,
+	"abl-levels":   AblationThreeLevels,
+	"abl-perhead":  AblationPerHead,
+	"abl-devices":  AblationDevices,
+}
+
+// IDs returns the registered experiment IDs in sorted order.
+func IDs() []string {
+	out := make([]string, 0, len(Registry))
+	for id := range Registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes one experiment by ID.
+func Run(id string, o Opts) ([]*Table, error) {
+	r, ok := Registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown id %q (have %v)", id, IDs())
+	}
+	return r(o), nil
+}

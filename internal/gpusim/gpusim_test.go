@@ -1,0 +1,212 @@
+package gpusim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMicrosConversions(t *testing.T) {
+	m := Micros(1500)
+	if m.Millis() != 1.5 {
+		t.Fatalf("Millis = %v", m.Millis())
+	}
+	if m.Seconds() != 0.0015 {
+		t.Fatalf("Seconds = %v", m.Seconds())
+	}
+}
+
+func TestL40Shape(t *testing.T) {
+	d := L40()
+	if d.MemoryBytes != 48<<30 {
+		t.Fatalf("L40 memory = %d", d.MemoryBytes)
+	}
+	if d.SMs != 142 {
+		t.Fatalf("L40 SMs = %d", d.SMs)
+	}
+}
+
+func TestMemBoundKernelScalesWithBytes(t *testing.T) {
+	d := L40()
+	t1 := d.MemBoundKernel(1e6, 0.9)
+	t2 := d.MemBoundKernel(2e6, 0.9)
+	if t2 <= t1 {
+		t.Fatal("kernel time must grow with bytes")
+	}
+	// asymptotically double (minus launch overhead)
+	ratio := float64(t2-d.KernelLaunch) / float64(t1-d.KernelLaunch)
+	if math.Abs(ratio-2) > 1e-9 {
+		t.Fatalf("bytes scaling ratio = %v", ratio)
+	}
+}
+
+func TestMemBoundKernelPanicsOnBadUtil(t *testing.T) {
+	d := L40()
+	for _, u := range []float64{0, -1, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic for util %v", u)
+				}
+			}()
+			d.MemBoundKernel(1e6, u)
+		}()
+	}
+}
+
+func TestAttentionKernelQuantizedSlowerPerByte(t *testing.T) {
+	d := L40()
+	// same bytes: quantized pays the dequant/metadata penalty
+	fp := d.AttentionKernel(1e8, false, 1)
+	q := d.AttentionKernel(1e8, true, 1)
+	if q <= fp {
+		t.Fatal("quantized kernel should be slower for equal bytes")
+	}
+}
+
+func TestAttentionKernelCompressionWins(t *testing.T) {
+	d := L40()
+	// K8V8 halves the payload: speedup must be >1.5x but below the
+	// theoretical 2x (paper reports 1.7x).
+	fpBytes := 1e9
+	qBytes := fpBytes/2 + fpBytes/2*0.09 // payload/2 + metadata overhead
+	fp := d.AttentionKernel(fpBytes, false, 1)
+	q := d.AttentionKernel(qBytes, true, 1)
+	speedup := float64(fp) / float64(q)
+	if speedup < 1.5 || speedup > 2.0 {
+		t.Fatalf("K8V8-like speedup = %v, want in (1.5, 2.0)", speedup)
+	}
+}
+
+func TestAttentionKernelSeqSplit(t *testing.T) {
+	d := L40()
+	base := d.AttentionKernel(1e8, true, 1)
+	split := d.AttentionKernel(1e8, true, 8)
+	if split <= base {
+		t.Fatal("sequence splitting should add merge cost")
+	}
+	if float64(split) > float64(base)*1.5 {
+		t.Fatal("merge cost should be minimal (paper §6.2)")
+	}
+}
+
+func TestLinearLayersMemoryBoundSmallBatch(t *testing.T) {
+	d := L40()
+	weightBytes := 16e9 // Llama3-8B FP16
+	one := d.LinearLayers(weightBytes, 1)
+	eight := d.LinearLayers(weightBytes, 8)
+	// small batches are weight-read bound: time nearly flat
+	if float64(eight) > float64(one)*1.2 {
+		t.Fatalf("generation should be weight-bound: %v vs %v", one, eight)
+	}
+	// ~18.5ms for 16GB at 864GB/s
+	if one.Millis() < 15 || one.Millis() > 25 {
+		t.Fatalf("weight-read time = %vms, want ~18.5", one.Millis())
+	}
+}
+
+func TestLinearLayersComputeBoundPrompt(t *testing.T) {
+	d := L40()
+	weightBytes := 16e9
+	// 8 sequences x 1024 prompt tokens: compute bound
+	tPrompt := d.LinearLayers(weightBytes, 8*1024)
+	if tPrompt.Millis() < 100 {
+		t.Fatalf("prompt step suspiciously fast: %vms", tPrompt.Millis())
+	}
+	// must scale with tokens once compute bound
+	tPrompt2 := d.LinearLayers(weightBytes, 16*1024)
+	if float64(tPrompt2) < 1.8*float64(tPrompt) {
+		t.Fatalf("compute-bound scaling broken: %v -> %v", tPrompt, tPrompt2)
+	}
+}
+
+func TestGPUCompactionOrdersFasterThanCPU(t *testing.T) {
+	d := L40()
+	// batch 8, Llama3-8B: 8 req x 256 head-instances x 1024 tokens
+	tokenOps := 8 * 256 * 1024
+	regions := 8 * 256
+	gpu := d.GPUCompaction(tokenOps, regions)
+	cpu := d.CPUMemoryManagement(tokenOps, regions, 8)
+	if ratio := float64(cpu) / float64(gpu); ratio < 50 {
+		t.Fatalf("CPU/GPU compaction ratio = %v, want >= 50 (paper: up to 3 orders)", ratio)
+	}
+}
+
+func TestGPUCompactionFig13Magnitudes(t *testing.T) {
+	d := L40()
+	// Fig. 13a prompt phase: DiffKV ~1.4-1.5ms, on-CPU ~285-366ms.
+	for _, batch := range []int{8, 32} {
+		tokenOps := batch * 256 * 1024
+		regions := batch * 256
+		gpu := d.GPUCompaction(tokenOps, regions)
+		cpu := d.CPUMemoryManagement(tokenOps, regions, batch)
+		if gpu.Millis() > 20 {
+			t.Fatalf("batch %d: GPU compaction %vms, want few ms", batch, gpu.Millis())
+		}
+		if cpu.Millis() < 100 || cpu.Millis() > 1200 {
+			t.Fatalf("batch %d: CPU memmgmt %vms, want hundreds of ms", batch, cpu.Millis())
+		}
+	}
+}
+
+func TestCPUMemoryManagementSublinearInBatch(t *testing.T) {
+	// Fig. 13: batch 8 -> 32 grows far less than 4x (thread pool scales).
+	d := L40()
+	t8 := d.CPUMemoryManagement(8*256*1024, 8*256, 8)
+	t32 := d.CPUMemoryManagement(32*256*1024, 32*256, 32)
+	growth := float64(t32) / float64(t8)
+	if growth > 2.5 {
+		t.Fatalf("CPU memmgmt growth batch8->32 = %v, want sublinear (<2.5)", growth)
+	}
+}
+
+func TestClusterMemory(t *testing.T) {
+	c := NewCluster(L40(), 4)
+	if c.TotalMemory() != 4*(48<<30) {
+		t.Fatalf("cluster memory = %d", c.TotalMemory())
+	}
+	if NewCluster(L40(), 0).GPUs != 1 {
+		t.Fatal("cluster should clamp to >=1 GPU")
+	}
+}
+
+func TestSchedulerOverheadGrowsWithBatch(t *testing.T) {
+	d := L40()
+	if d.SchedulerOverhead(32) <= d.SchedulerOverhead(1) {
+		t.Fatal("scheduler overhead should grow with batch")
+	}
+}
+
+func TestCompressorKernel(t *testing.T) {
+	d := L40()
+	small := d.CompressorKernel(1e5)
+	big := d.CompressorKernel(1e7)
+	if big <= small {
+		t.Fatal("compressor cost must scale with bytes")
+	}
+}
+
+func TestDevicePresetsOrdering(t *testing.T) {
+	l40, a100, h100 := L40(), A100(), H100()
+	if !(l40.HBMBandwidth < a100.HBMBandwidth && a100.HBMBandwidth < h100.HBMBandwidth) {
+		t.Fatal("bandwidth ordering wrong")
+	}
+	if a100.MemoryBytes != 80<<30 || h100.MemoryBytes != 80<<30 {
+		t.Fatal("memory sizes wrong")
+	}
+	if len(Devices()) != 3 {
+		t.Fatal("device list incomplete")
+	}
+}
+
+func TestAttentionSpeedupBandwidthInvariant(t *testing.T) {
+	// the K8V4-vs-FP16 kernel speedup is a byte ratio: it must hold within
+	// a few percent on every device (launch overhead shifts it slightly)
+	for _, d := range Devices() {
+		fp := d.AttentionKernel(1e9, false, 1)
+		q := d.AttentionKernel(1e9*216/512, true, 1)
+		speedup := float64(fp) / float64(q)
+		if speedup < 1.8 || speedup > 2.4 {
+			t.Fatalf("%s: K8V4 speedup = %v", d.Name, speedup)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package gpusim
+
+import "math"
+
+// MemBoundKernel returns the duration of a memory-bandwidth-bound kernel
+// that moves `bytes` through HBM at the given utilization (0 < util <= 1),
+// plus one launch overhead.
+func (d *Device) MemBoundKernel(bytes float64, util float64) Micros {
+	if util <= 0 || util > 1 {
+		panic("gpusim: utilization out of (0,1]")
+	}
+	return d.KernelLaunch + Micros(bytes/(d.HBMBandwidth*util))
+}
+
+// AttentionBandwidthUtil is the fraction of peak bandwidth the attention
+// kernel attains. The paper's custom layouts coalesce accesses; quantized
+// pages pay a small extra cost for metadata access and in-register
+// dequantization (§7.3: K8V8 achieves 1.7x of the theoretical 2.0x).
+const (
+	attnUtilFP16  = 0.90
+	attnUtilQuant = 0.82
+)
+
+// AttentionKernel returns the time of one paged-attention kernel over a
+// compressed KV cache.
+//
+//	bytesHBM   – total KV bytes touched (payload + metadata + table)
+//	quantized  – whether on-the-fly dequantization runs
+//	seqSplits  – sequence-dimension parallel segments (≥1); splitting adds a
+//	             small merge cost but increases SM occupancy on long
+//	             sequences.
+func (d *Device) AttentionKernel(bytesHBM float64, quantized bool, seqSplits int) Micros {
+	util := attnUtilFP16
+	if quantized {
+		util = attnUtilQuant
+	}
+	if seqSplits < 1 {
+		seqSplits = 1
+	}
+	t := d.MemBoundKernel(bytesHBM, util)
+	if seqSplits > 1 {
+		// merge kernel: one small reduction per split
+		t += d.KernelLaunch + Micros(float64(seqSplits)*0.5)
+	}
+	return t
+}
+
+// LinearLayers returns the time of the non-attention portion of one model
+// step (QKV/output projections + MLP): memory-bound on weight reads for
+// small batches, compute-bound for large token counts.
+//
+//	weightBytes – total parameter bytes resident on this GPU
+//	tokens      – tokens processed this step across the batch (batch size
+//	              during generation; sum of prompt lengths during prompt)
+func (d *Device) LinearLayers(weightBytes float64, tokens int) Micros {
+	// 2 FLOPs per parameter per token
+	flops := 2 * (weightBytes / 2) * float64(tokens)
+	computeT := flops / d.TensorTFLOPs
+	memT := weightBytes / d.HBMBandwidth
+	t := math.Max(computeT, memT)
+	return Micros(t) + d.KernelLaunch
+}
+
+// GPUCompaction returns the time of one on-GPU parallel KV compaction pass
+// (paper §5.2): a fully parallel planning phase over every
+// (request, head) region, a prefix-sum coordination phase, and a handful of
+// fixed kernel launches.
+//
+//	tokenOps – total per-token planning operations this step (≈ tokens
+//	           scanned across all heads and requests)
+//	regions  – number of (request × head) regions coordinated
+func (d *Device) GPUCompaction(tokenOps, regions int) Micros {
+	lanes := float64(d.SMs * d.LanesPerSM)
+	// planning: embarrassingly parallel, ~4 cycles/op at ~1.5 GHz
+	planning := Micros(float64(tokenOps) / lanes * 0.0027)
+	// coordination: work-efficient scan, log2(regions) dependent steps
+	steps := 1.0
+	if regions > 1 {
+		steps = math.Ceil(math.Log2(float64(regions)))
+	}
+	coordination := Micros(steps * 2.2)
+	// fixed pipeline: plan, scan, gather, scatter kernels
+	launches := 4 * d.KernelLaunch
+	return launches + planning + coordination
+}
+
+// CPUMemoryManagement returns the time of the on-CPU multi-threaded
+// comparator (Fig. 13): every (request, head) region is scanned on the host
+// (managed-runtime list ops per token), the thread pool grows with batch
+// size, and the resulting page tables cross PCIe with a host sync.
+func (d *Device) CPUMemoryManagement(tokenOps, regions, batch int) Micros {
+	threads := 4 * batch
+	if threads > d.CPUThreadsMax {
+		threads = d.CPUThreadsMax
+	}
+	if threads < 1 {
+		threads = 1
+	}
+	scan := Micros(float64(tokenOps) * d.CPUTokenOpMicros / float64(threads))
+	// page-table transfer: 8 bytes per region entry, one round trip
+	xfer := d.PCIeLatency*2 + Micros(float64(regions)*8/d.PCIeBandwidth)
+	return scan + xfer + d.HostSync
+}
+
+// SchedulerOverhead is the per-step host-side scheduling cost for a batch.
+func (d *Device) SchedulerOverhead(batch int) Micros {
+	return Micros(40 + 2*float64(batch))
+}
+
+// CompressorKernel returns the time of the KV-compressor kernel that
+// quantizes this step's new keys/values and updates significance scores
+// (paper §6.1). It is bandwidth-bound on the tensors it reads and writes.
+func (d *Device) CompressorKernel(bytesTouched float64) Micros {
+	return d.MemBoundKernel(bytesTouched, 0.75)
+}

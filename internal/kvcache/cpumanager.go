@@ -1,0 +1,281 @@
+package kvcache
+
+import (
+	"fmt"
+	"sync"
+)
+
+// CPUManager is the on-CPU multi-threaded comparator of Fig. 13, as a real
+// implementation rather than just a cost model: every (sequence, head)
+// region is managed by host threads that take a global allocator lock and
+// walk free pages one at a time — the architecture the paper argues cannot
+// keep up with per-head dynamic compression. It exposes the same
+// compaction operations as Manager so the two can be benchmarked
+// head-to-head (BenchmarkCompactionGPUvsCPU) and the cost model's shape
+// can be sanity-checked against actual lock-contention behaviour.
+type CPUManager struct {
+	mu      sync.Mutex
+	cfg     Config
+	pool    *PagePool
+	freeIDs []int32 // plain LIFO free stack (no batch coordination)
+	seqs    map[int]*cpuSeq
+	capHi   int
+	capLo   int
+	// Threads bounds the worker pool (0 = GOMAXPROCS via ParallelFor).
+	Threads int
+}
+
+type cpuSeq struct {
+	heads []*cpuHead
+}
+
+type cpuHead struct {
+	hiPages, loPages   []int32
+	hiTokens, loTokens int
+}
+
+// NewCPUManager builds the comparator with the same configuration schema
+// as Manager.
+func NewCPUManager(cfg Config) (*CPUManager, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := &CPUManager{
+		cfg:   cfg,
+		pool:  NewPagePool(cfg.NumPages, cfg.PageBytes, cfg.Dim, false),
+		seqs:  make(map[int]*cpuSeq),
+		capHi: TokensPerPage(cfg.PageBytes, cfg.Dim, cfg.HiPrec),
+		capLo: TokensPerPage(cfg.PageBytes, cfg.Dim, cfg.LoPrec),
+	}
+	m.freeIDs = make([]int32, cfg.NumPages)
+	for i := range m.freeIDs {
+		m.freeIDs[i] = int32(i)
+	}
+	return m, nil
+}
+
+// FreePages returns the free page count.
+func (m *CPUManager) FreePages() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.freeIDs)
+}
+
+// AddSequence registers a sequence.
+func (m *CPUManager) AddSequence(id, numHeads int) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, dup := m.seqs[id]; dup {
+		return fmt.Errorf("kvcache: sequence %d already registered", id)
+	}
+	sc := &cpuSeq{heads: make([]*cpuHead, numHeads)}
+	for i := range sc.heads {
+		sc.heads[i] = &cpuHead{}
+	}
+	m.seqs[id] = sc
+	return nil
+}
+
+// allocLocked pops one page under the global lock.
+func (m *CPUManager) allocLocked() (int32, error) {
+	if len(m.freeIDs) == 0 {
+		return -1, fmt.Errorf("kvcache: out of pages (cap %d)", m.cfg.NumPages)
+	}
+	id := m.freeIDs[len(m.freeIDs)-1]
+	m.freeIDs = m.freeIDs[:len(m.freeIDs)-1]
+	return id, nil
+}
+
+// PromptCompact performs prompt-phase allocation with per-head host
+// threads: each head scans its token scores sequentially to derive its
+// demand (the planning phase executed on the CPU) and then allocates pages
+// one at a time under the shared lock — the serialization the parallel
+// design removes.
+//
+// scores[h] carries the per-token significance of head h; threshold
+// callbacks hiAt/loAt classify them (kept as callbacks so the policy stays
+// out of this package).
+func (m *CPUManager) PromptCompact(seqID int, scores [][]float32, hiAt, loAt func(float32) bool) (CompactStats, error) {
+	m.mu.Lock()
+	sc, ok := m.seqs[seqID]
+	m.mu.Unlock()
+	if !ok {
+		return CompactStats{}, fmt.Errorf("kvcache: unknown sequence %d", seqID)
+	}
+	if len(scores) != len(sc.heads) {
+		return CompactStats{}, fmt.Errorf("kvcache: %d score sets for %d heads", len(scores), len(sc.heads))
+	}
+	stats := CompactStats{Regions: len(sc.heads)}
+	var firstErr error
+	var errMu sync.Mutex
+	var tokenOps int64
+	var tokMu sync.Mutex
+
+	work := func(h int) {
+		head := sc.heads[h]
+		// planning: per-token sequential scan
+		var hi, lo int
+		for _, s := range scores[h] {
+			if hiAt(s) {
+				hi++
+			} else if loAt(s) {
+				lo++
+			}
+		}
+		tokMu.Lock()
+		tokenOps += int64(len(scores[h]))
+		tokMu.Unlock()
+		// coordination: page-at-a-time allocation under the global lock
+		need := pagesNeeded(hi, m.capHi) + pagesNeeded(lo, m.capLo)
+		for p := 0; p < need; p++ {
+			m.mu.Lock()
+			id, err := m.allocLocked()
+			if err != nil {
+				m.mu.Unlock()
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				errMu.Unlock()
+				return
+			}
+			m.mu.Unlock()
+			if p < pagesNeeded(hi, m.capHi) {
+				head.hiPages = append(head.hiPages, id)
+			} else {
+				head.loPages = append(head.loPages, id)
+			}
+		}
+		head.hiTokens, head.loTokens = hi, lo
+	}
+	m.parallel(len(sc.heads), work)
+	if firstErr != nil {
+		return CompactStats{}, firstErr
+	}
+	stats.TokenOps = int(tokenOps)
+	for _, head := range sc.heads {
+		stats.PagesAllocated += len(head.hiPages) + len(head.loPages)
+	}
+	return stats, nil
+}
+
+// GenStep performs one generation-step allocation pass: each head checks
+// its page occupancy and allocates under the lock when a tier overflows.
+// grows[h] is (hiDelta, loDelta) for head h.
+func (m *CPUManager) GenStep(seqID int, grows [][2]int) (CompactStats, error) {
+	m.mu.Lock()
+	sc, ok := m.seqs[seqID]
+	m.mu.Unlock()
+	if !ok {
+		return CompactStats{}, fmt.Errorf("kvcache: unknown sequence %d", seqID)
+	}
+	if len(grows) != len(sc.heads) {
+		return CompactStats{}, fmt.Errorf("kvcache: %d grow entries for %d heads", len(grows), len(sc.heads))
+	}
+	stats := CompactStats{Regions: len(sc.heads)}
+	var firstErr error
+	var errMu sync.Mutex
+	var allocated int64
+	var tokenOps int64
+
+	work := func(h int) {
+		head := sc.heads[h]
+		// planning: victim-search scan over the head's cached tokens
+		tokMu := head.hiTokens + head.loTokens
+		errMu.Lock()
+		tokenOps += int64(tokMu)
+		errMu.Unlock()
+
+		head.hiTokens += grows[h][0]
+		head.loTokens += grows[h][1]
+		for pagesNeeded(head.hiTokens, m.capHi) > len(head.hiPages) {
+			m.mu.Lock()
+			id, err := m.allocLocked()
+			m.mu.Unlock()
+			if err != nil {
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				errMu.Unlock()
+				return
+			}
+			head.hiPages = append(head.hiPages, id)
+			errMu.Lock()
+			allocated++
+			errMu.Unlock()
+		}
+		for pagesNeeded(head.loTokens, m.capLo) > len(head.loPages) {
+			m.mu.Lock()
+			id, err := m.allocLocked()
+			m.mu.Unlock()
+			if err != nil {
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				errMu.Unlock()
+				return
+			}
+			head.loPages = append(head.loPages, id)
+			errMu.Lock()
+			allocated++
+			errMu.Unlock()
+		}
+	}
+	m.parallel(len(sc.heads), work)
+	if firstErr != nil {
+		return CompactStats{}, firstErr
+	}
+	stats.TokenOps = int(tokenOps)
+	stats.PagesAllocated = int(allocated)
+	return stats, nil
+}
+
+// ReleaseSequence returns every page of a sequence to the free stack.
+func (m *CPUManager) ReleaseSequence(id int) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	sc, ok := m.seqs[id]
+	if !ok {
+		return fmt.Errorf("kvcache: unknown sequence %d", id)
+	}
+	for _, head := range sc.heads {
+		m.freeIDs = append(m.freeIDs, head.hiPages...)
+		m.freeIDs = append(m.freeIDs, head.loPages...)
+		head.hiPages, head.loPages = nil, nil
+		head.hiTokens, head.loTokens = 0, 0
+	}
+	delete(m.seqs, id)
+	return nil
+}
+
+// parallel runs fn across the configured worker count.
+func (m *CPUManager) parallel(n int, fn func(int)) {
+	workers := m.Threads
+	if workers <= 0 {
+		workers = 8
+	}
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				fn(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}

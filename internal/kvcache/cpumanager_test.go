@@ -1,0 +1,191 @@
+package kvcache
+
+import (
+	"testing"
+
+	"diffkv/internal/mathx"
+)
+
+func newCPUManager(t *testing.T, pages int) *CPUManager {
+	t.Helper()
+	m, err := NewCPUManager(Config{
+		Dim: 128, PageBytes: 8192, NumPages: pages, MaxSeqLen: 4096,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func mkScores(rng *mathx.RNG, heads, tokens int) [][]float32 {
+	out := make([][]float32, heads)
+	for h := range out {
+		s := make([]float32, tokens)
+		for i := range s {
+			s[i] = float32(rng.Float64() * 3)
+		}
+		out[h] = s
+	}
+	return out
+}
+
+func TestCPUManagerPromptCompact(t *testing.T) {
+	m := newCPUManager(t, 2048)
+	if err := m.AddSequence(1, 8); err != nil {
+		t.Fatal(err)
+	}
+	rng := mathx.NewRNG(1)
+	scores := mkScores(rng, 8, 300)
+	hiAt := func(s float32) bool { return s >= 1 }
+	loAt := func(s float32) bool { return s >= 0.1 }
+	stats, err := m.PromptCompact(1, scores, hiAt, loAt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.TokenOps != 8*300 {
+		t.Fatalf("TokenOps = %d", stats.TokenOps)
+	}
+	if stats.Regions != 8 {
+		t.Fatalf("Regions = %d", stats.Regions)
+	}
+	if stats.PagesAllocated == 0 {
+		t.Fatal("no pages allocated")
+	}
+	if m.FreePages() != 2048-stats.PagesAllocated {
+		t.Fatal("free count inconsistent")
+	}
+}
+
+func TestCPUManagerDuplicateSequence(t *testing.T) {
+	m := newCPUManager(t, 64)
+	m.AddSequence(1, 2)
+	if err := m.AddSequence(1, 2); err == nil {
+		t.Fatal("expected duplicate error")
+	}
+}
+
+func TestCPUManagerGenStepAndRelease(t *testing.T) {
+	m := newCPUManager(t, 2048)
+	m.AddSequence(1, 4)
+	rng := mathx.NewRNG(2)
+	scores := mkScores(rng, 4, 200)
+	if _, err := m.PromptCompact(1, scores,
+		func(s float32) bool { return s >= 1 },
+		func(s float32) bool { return true }); err != nil {
+		t.Fatal(err)
+	}
+	grows := [][2]int{{1, 0}, {0, 1}, {1, 1}, {0, 0}}
+	for step := 0; step < 100; step++ {
+		if _, err := m.GenStep(1, grows); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.ReleaseSequence(1); err != nil {
+		t.Fatal(err)
+	}
+	if m.FreePages() != 2048 {
+		t.Fatalf("pages leaked: free=%d", m.FreePages())
+	}
+	if err := m.ReleaseSequence(1); err == nil {
+		t.Fatal("double release should fail")
+	}
+}
+
+func TestCPUManagerOutOfPages(t *testing.T) {
+	m := newCPUManager(t, 4)
+	m.AddSequence(1, 8)
+	rng := mathx.NewRNG(3)
+	scores := mkScores(rng, 8, 1000)
+	_, err := m.PromptCompact(1, scores,
+		func(s float32) bool { return true },
+		func(s float32) bool { return false })
+	if err == nil {
+		t.Fatal("expected out-of-pages error")
+	}
+}
+
+func TestCPUManagerNoDoubleAllocationUnderConcurrency(t *testing.T) {
+	// many heads allocating concurrently through the global lock: every
+	// page handed out at most once
+	m := newCPUManager(t, 4096)
+	m.Threads = 16
+	m.AddSequence(1, 256)
+	rng := mathx.NewRNG(4)
+	scores := mkScores(rng, 256, 150)
+	if _, err := m.PromptCompact(1, scores,
+		func(s float32) bool { return s >= 1.5 },
+		func(s float32) bool { return s >= 0.3 }); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int32]bool{}
+	sc := m.seqs[1]
+	for _, head := range sc.heads {
+		for _, id := range append(head.hiPages, head.loPages...) {
+			if seen[id] {
+				t.Fatalf("page %d allocated twice", id)
+			}
+			seen[id] = true
+		}
+	}
+	// conservation: allocated + free == total
+	if len(seen)+m.FreePages() != 4096 {
+		t.Fatalf("conservation broken: %d allocated, %d free", len(seen), m.FreePages())
+	}
+}
+
+// BenchmarkCompactionGPUvsCPU compares the real batch prefix-sum manager
+// against the real lock-based CPU comparator on identical workloads — the
+// host-side analogue of Fig. 13's architectural argument.
+func BenchmarkCompactionGPUvsCPU(b *testing.B) {
+	const heads = 256
+	const tokens = 1024
+	rng := mathx.NewRNG(5)
+	scores := mkScores(rng, heads, tokens)
+	hiAt := func(s float32) bool { return s >= 1.5 }
+	loAt := func(s float32) bool { return s >= 0.3 }
+
+	b.Run("parallel-batch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			m, err := NewManager(Config{Dim: 128, PageBytes: 8192, NumPages: 1 << 15, MaxSeqLen: 4096})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := m.AddSequence(1, heads); err != nil {
+				b.Fatal(err)
+			}
+			demands := make([]HeadDemand, heads)
+			for h := range demands {
+				var hi, lo int
+				for _, s := range scores[h] {
+					if hiAt(s) {
+						hi++
+					} else if loAt(s) {
+						lo++
+					}
+				}
+				demands[h] = HeadDemand{HiTokens: hi, LoTokens: lo}
+			}
+			b.StartTimer()
+			if _, err := m.PromptCompact(1, tokens, demands); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("lock-based-cpu", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			m, err := NewCPUManager(Config{Dim: 128, PageBytes: 8192, NumPages: 1 << 15, MaxSeqLen: 4096})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := m.AddSequence(1, heads); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			if _, err := m.PromptCompact(1, scores, hiAt, loAt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,119 @@
+package kvcache
+
+import (
+	"fmt"
+
+	"diffkv/internal/mathx"
+)
+
+// FreeList is the circular free page list (paper §5.2): all page IDs live
+// in a fixed ring; the free region is contiguous (module wrap-around),
+// tracked by a start pointer (next allocation) and an implicit end pointer
+// (start+free, next recycle slot). Contiguity is what lets batch
+// allocation and recycling parallelize with a prefix sum: each head is
+// assigned a disjoint region of the ring to read from or write to.
+type FreeList struct {
+	ring    []int32
+	start   int // index of the next free page ID to hand out
+	freeCnt int // number of free pages
+}
+
+// NewFreeList creates a free list over page IDs [0, n).
+func NewFreeList(n int) *FreeList {
+	if n <= 0 {
+		panic("kvcache: free list needs at least one page")
+	}
+	fl := &FreeList{ring: make([]int32, n), freeCnt: n}
+	for i := range fl.ring {
+		fl.ring[i] = int32(i)
+	}
+	return fl
+}
+
+// Free returns the number of free pages.
+func (fl *FreeList) Free() int { return fl.freeCnt }
+
+// Cap returns the total number of pages.
+func (fl *FreeList) Cap() int { return len(fl.ring) }
+
+// Used returns the number of allocated pages.
+func (fl *FreeList) Used() int { return len(fl.ring) - fl.freeCnt }
+
+// end returns the recycle position (one past the last free slot).
+func (fl *FreeList) end() int { return (fl.start + fl.freeCnt) % len(fl.ring) }
+
+// Alloc hands out a single page ID.
+func (fl *FreeList) Alloc() (int32, error) {
+	if fl.freeCnt == 0 {
+		return -1, fmt.Errorf("kvcache: out of pages (cap %d)", len(fl.ring))
+	}
+	id := fl.ring[fl.start]
+	fl.start = (fl.start + 1) % len(fl.ring)
+	fl.freeCnt--
+	return id, nil
+}
+
+// Recycle returns a single page ID to the list.
+func (fl *FreeList) Recycle(id int32) {
+	if fl.freeCnt >= len(fl.ring) {
+		panic("kvcache: recycle into full free list")
+	}
+	fl.ring[fl.end()] = id
+	fl.freeCnt++
+}
+
+// AllocBatch performs the coordination phase of parallel KV compaction for
+// allocation: counts[i] is the number of pages head i needs. A prefix sum
+// assigns each head a disjoint region of the free ring; heads then read
+// their page IDs concurrently. Returns one ID slice per head, or an error
+// (allocating nothing) if the total demand exceeds the free pages.
+func (fl *FreeList) AllocBatch(counts []int32) ([][]int32, error) {
+	offsets := make([]int32, len(counts))
+	total := mathx.ParallelExclusiveScan(counts, offsets)
+	if int(total) > fl.freeCnt {
+		return nil, fmt.Errorf("kvcache: batch alloc of %d pages exceeds %d free", total, fl.freeCnt)
+	}
+	out := make([][]int32, len(counts))
+	n := len(fl.ring)
+	start := fl.start
+	mathx.ParallelFor(len(counts), func(i int) {
+		c := int(counts[i])
+		if c == 0 {
+			return
+		}
+		ids := make([]int32, c)
+		base := start + int(offsets[i])
+		for j := 0; j < c; j++ {
+			ids[j] = fl.ring[(base+j)%n]
+		}
+		out[i] = ids
+	})
+	fl.start = (fl.start + int(total)) % n
+	fl.freeCnt -= int(total)
+	return out, nil
+}
+
+// RecycleBatch performs the coordination phase for recycling: each head i
+// returns ids[i]; a prefix sum assigns each head a disjoint write region
+// after the end pointer, heads write concurrently, and the end pointer
+// advances by the total.
+func (fl *FreeList) RecycleBatch(ids [][]int32) {
+	counts := make([]int32, len(ids))
+	for i, l := range ids {
+		counts[i] = int32(len(l))
+	}
+	offsets := make([]int32, len(counts))
+	total := mathx.ParallelExclusiveScan(counts, offsets)
+	if fl.freeCnt+int(total) > len(fl.ring) {
+		panic("kvcache: batch recycle overflows free list")
+	}
+	n := len(fl.ring)
+	end := fl.end()
+	mathx.ParallelFor(len(ids), func(i int) {
+		base := end + int(offsets[i])
+		for j, id := range ids[i] {
+			fl.ring[(base+j)%n] = id
+		}
+	})
+	fl.freeCnt += int(total)
+}

@@ -1,0 +1,256 @@
+package kvcache
+
+import "fmt"
+
+// Level selects one of the two precision tiers of a head's cache.
+type Level int
+
+const (
+	// LevelHi is the high-precision tier (e.g. K8V4).
+	LevelHi Level = iota
+	// LevelLo is the low-precision tier (e.g. K4V2).
+	LevelLo
+)
+
+func (l Level) String() string {
+	if l == LevelHi {
+		return "hi"
+	}
+	return "lo"
+}
+
+// TokenRef addresses one cached token within a head's tier.
+type TokenRef struct {
+	Level Level
+	Page  int // index within the tier's page list (push order)
+	Slot  int
+}
+
+// HeadCache is the per-(sequence, KV-head) cache view: a bidirectional page
+// table plus token counts. In materialized mode it supports token-level
+// append / score-update / remove / downgrade operations (the mechanics
+// behind the compression policy); in counts-only mode just the counts.
+type HeadCache struct {
+	mgr      *Manager
+	table    *BiTable
+	hiTokens int
+	loTokens int
+}
+
+// HiTokens returns the number of tokens in the high-precision tier.
+func (hc *HeadCache) HiTokens() int { return hc.hiTokens }
+
+// LoTokens returns the number of tokens in the low-precision tier.
+func (hc *HeadCache) LoTokens() int { return hc.loTokens }
+
+// TotalTokens returns the number of cached tokens across both tiers.
+func (hc *HeadCache) TotalTokens() int { return hc.hiTokens + hc.loTokens }
+
+// Pages returns the tier's pages in push order.
+func (hc *HeadCache) Pages(level Level) []*Page {
+	var n int
+	if level == LevelHi {
+		n = hc.table.Hi()
+	} else {
+		n = hc.table.Lo()
+	}
+	out := make([]*Page, n)
+	for i := 0; i < n; i++ {
+		out[i] = hc.page(level, i)
+	}
+	return out
+}
+
+func (hc *HeadCache) page(level Level, i int) *Page {
+	if level == LevelHi {
+		return hc.mgr.pool.Get(hc.table.HiID(i))
+	}
+	return hc.mgr.pool.Get(hc.table.LoID(i))
+}
+
+func (hc *HeadCache) pageCount(level Level) int {
+	if level == LevelHi {
+		return hc.table.Hi()
+	}
+	return hc.table.Lo()
+}
+
+// KVBytes returns the payload+metadata bytes attention must read for this
+// head (token-exact, not page-rounded).
+func (hc *HeadCache) KVBytes() int {
+	dim := hc.mgr.cfg.Dim
+	return hc.hiTokens*hc.mgr.cfg.HiPrec.TokenBytes(dim) +
+		hc.loTokens*hc.mgr.cfg.LoPrec.TokenBytes(dim)
+}
+
+// AppendToken quantizes (key, val) into the tier, allocating and
+// configuring a fresh unified page when the tier's last page is full.
+// Materialized mode only.
+func (hc *HeadCache) AppendToken(level Level, key, val []float32, score float32, pos int32) error {
+	if !hc.mgr.cfg.Materialize {
+		return fmt.Errorf("kvcache: AppendToken requires a materialized manager")
+	}
+	n := hc.pageCount(level)
+	var p *Page
+	if n > 0 {
+		p = hc.page(level, n-1)
+	}
+	if p == nil || p.Full() {
+		id, err := hc.mgr.free.Alloc()
+		if err != nil {
+			return err
+		}
+		prec := hc.mgr.cfg.HiPrec
+		if level == LevelLo {
+			prec = hc.mgr.cfg.LoPrec
+		}
+		p = hc.mgr.pool.Configure(id, prec)
+		if level == LevelHi {
+			err = hc.table.PushHi(id)
+		} else {
+			err = hc.table.PushLo(id)
+		}
+		if err != nil {
+			hc.mgr.free.Recycle(id)
+			return err
+		}
+	}
+	p.Append(key, val, score, pos)
+	if level == LevelHi {
+		hc.hiTokens++
+	} else {
+		hc.loTokens++
+	}
+	return nil
+}
+
+// ForEachToken calls fn for every live token of the tier.
+func (hc *HeadCache) ForEachToken(level Level, fn func(p *Page, slot int)) {
+	n := hc.pageCount(level)
+	for i := 0; i < n; i++ {
+		p := hc.page(level, i)
+		for s := 0; s < p.N; s++ {
+			fn(p, s)
+		}
+	}
+}
+
+// MinScore returns a reference to the tier's least significant token.
+// ok is false when the tier is empty.
+func (hc *HeadCache) MinScore(level Level) (ref TokenRef, score float32, ok bool) {
+	n := hc.pageCount(level)
+	first := true
+	for i := 0; i < n; i++ {
+		p := hc.page(level, i)
+		for s := 0; s < p.N; s++ {
+			if first || p.Score(s) < score {
+				score = p.Score(s)
+				ref = TokenRef{Level: level, Page: i, Slot: s}
+				first = false
+			}
+		}
+	}
+	return ref, score, !first
+}
+
+// TokenAt dequantizes the referenced token into the provided buffers and
+// returns its score and position.
+func (hc *HeadCache) TokenAt(ref TokenRef, key, val []float32) (score float32, pos int32) {
+	p := hc.page(ref.Level, ref.Page)
+	p.DequantToken(ref.Slot, key, val)
+	return p.Score(ref.Slot), p.Position(ref.Slot)
+}
+
+// RemoveToken deletes the referenced token, filling the hole with the
+// tier's globally last token so storage stays compact. Pages are not
+// recycled during generation (paper §5.3); an emptied trailing page is
+// reused by the next append.
+func (hc *HeadCache) RemoveToken(ref TokenRef) error {
+	n := hc.pageCount(ref.Level)
+	if n == 0 {
+		return fmt.Errorf("kvcache: RemoveToken from empty tier")
+	}
+	// locate the tier's last live page
+	lastIdx := -1
+	for i := n - 1; i >= 0; i-- {
+		if hc.page(ref.Level, i).N > 0 {
+			lastIdx = i
+			break
+		}
+	}
+	if lastIdx < 0 {
+		return fmt.Errorf("kvcache: RemoveToken from empty tier")
+	}
+	target := hc.page(ref.Level, ref.Page)
+	last := hc.page(ref.Level, lastIdx)
+	if ref.Page > lastIdx || ref.Slot >= target.N {
+		return fmt.Errorf("kvcache: RemoveToken reference out of range")
+	}
+	if ref.Page == lastIdx {
+		target.RemoveSwap(ref.Slot)
+	} else {
+		// move last page's last token into the hole, then shrink
+		target.copyFrom(last, last.N-1, ref.Slot)
+		last.N--
+	}
+	if ref.Level == LevelHi {
+		hc.hiTokens--
+	} else {
+		hc.loTokens--
+	}
+	return nil
+}
+
+// Downgrade re-quantizes the referenced high-tier token into the low tier
+// (the paper's smooth downgrading path, Algorithm 1 lines 8-9), then
+// removes it from the high tier. The reconstruction error of the high-tier
+// quantization is carried into the low tier, exactly as in the real
+// system.
+func (hc *HeadCache) Downgrade(ref TokenRef, keyBuf, valBuf []float32) error {
+	if ref.Level != LevelHi {
+		return fmt.Errorf("kvcache: Downgrade requires a high-tier token")
+	}
+	score, pos := hc.TokenAt(ref, keyBuf, valBuf)
+	if err := hc.AppendToken(LevelLo, keyBuf, valBuf, score, pos); err != nil {
+		return err
+	}
+	return hc.RemoveToken(ref)
+}
+
+// copyFrom copies a token slot from src into dst (same precision tier).
+func (p *Page) copyFrom(src *Page, srcSlot, dstSlot int) {
+	if p.Prec != src.Prec {
+		panic("kvcache: cross-precision token copy")
+	}
+	kb := p.Prec.KeyBytes(p.Dim)
+	vb := p.Prec.ValBytes(p.Dim)
+	copy(p.keys[dstSlot*kb:(dstSlot+1)*kb], src.keys[srcSlot*kb:(srcSlot+1)*kb])
+	copy(p.vals[dstSlot*vb:(dstSlot+1)*vb], src.vals[srcSlot*vb:(srcSlot+1)*vb])
+	p.keyMeta[2*dstSlot], p.keyMeta[2*dstSlot+1] = src.keyMeta[2*srcSlot], src.keyMeta[2*srcSlot+1]
+	p.valMeta[2*dstSlot], p.valMeta[2*dstSlot+1] = src.valMeta[2*srcSlot], src.valMeta[2*srcSlot+1]
+	p.scores[dstSlot] = src.scores[srcSlot]
+	p.pos[dstSlot] = src.pos[srcSlot]
+}
+
+// markCounts records page occupancy in counts-only mode so that
+// byte-accounting works without payloads.
+func (hc *HeadCache) markCounts(hiPages, loPages, hiTokens, loTokens int) {
+	if hc.mgr.cfg.Materialize {
+		return
+	}
+	fill := func(level Level, pages, tokens, cap int) {
+		for i := 0; i < pages; i++ {
+			p := hc.page(level, hc.pageCount(level)-pages+i)
+			n := cap
+			if rem := tokens - i*cap; rem < cap {
+				n = rem
+			}
+			if n < 0 {
+				n = 0
+			}
+			p.N = n
+		}
+	}
+	fill(LevelHi, hiPages, hiTokens, hc.mgr.capHi)
+	fill(LevelLo, loPages, loTokens, hc.mgr.capLo)
+}

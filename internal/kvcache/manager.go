@@ -1,0 +1,419 @@
+package kvcache
+
+import (
+	"fmt"
+
+	"diffkv/internal/quant"
+)
+
+// Config parameterizes one memory manager (one worker's share of the KV
+// cache, paper §6.1).
+type Config struct {
+	// Dim is the per-head feature dimension.
+	Dim int
+	// PageBytes is the fixed unified-page size.
+	PageBytes int
+	// NumPages is the total page count this manager owns.
+	NumPages int
+	// HiPrec and LoPrec are the two precision tiers (default K8V4 / K4V2).
+	HiPrec, LoPrec quant.Precision
+	// MaxSeqLen bounds page-table entry length.
+	MaxSeqLen int
+	// Materialize selects payload-carrying pages (accuracy experiments) vs
+	// counts-only pages (serving scale).
+	Materialize bool
+}
+
+// Validate fills defaults and checks invariants.
+func (c *Config) Validate() error {
+	if c.Dim <= 0 {
+		return fmt.Errorf("kvcache: Dim must be positive")
+	}
+	if c.PageBytes <= 0 {
+		c.PageBytes = 8192
+	}
+	if c.NumPages <= 0 {
+		return fmt.Errorf("kvcache: NumPages must be positive")
+	}
+	if c.HiPrec == (quant.Precision{}) {
+		c.HiPrec = quant.K8V4
+	}
+	if c.LoPrec == (quant.Precision{}) {
+		c.LoPrec = quant.K4V2
+	}
+	if !c.HiPrec.Valid() || !c.LoPrec.Valid() {
+		return fmt.Errorf("kvcache: invalid precision configuration")
+	}
+	if c.HiPrec.TokenBytes(c.Dim) < c.LoPrec.TokenBytes(c.Dim) {
+		return fmt.Errorf("kvcache: high-precision tokens must not be smaller than low-precision tokens")
+	}
+	if c.MaxSeqLen <= 0 {
+		c.MaxSeqLen = 8192
+	}
+	return nil
+}
+
+// Manager is one worker's KV-cache memory manager: a page pool, the
+// circular free page list, and per-(sequence, head) bidirectional page
+// tables.
+type Manager struct {
+	cfg   Config
+	pool  *PagePool
+	free  *FreeList
+	seqs  map[int]*SeqCache
+	capHi int // tokens per high-precision page
+	capLo int // tokens per low-precision page
+}
+
+// NewManager builds a manager from cfg.
+func NewManager(cfg Config) (*Manager, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Manager{
+		cfg:   cfg,
+		pool:  NewPagePool(cfg.NumPages, cfg.PageBytes, cfg.Dim, cfg.Materialize),
+		free:  NewFreeList(cfg.NumPages),
+		seqs:  make(map[int]*SeqCache),
+		capHi: TokensPerPage(cfg.PageBytes, cfg.Dim, cfg.HiPrec),
+		capLo: TokensPerPage(cfg.PageBytes, cfg.Dim, cfg.LoPrec),
+	}
+	return m, nil
+}
+
+// Config returns the manager's configuration.
+func (m *Manager) Config() Config { return m.cfg }
+
+// FreePages returns the number of free pages.
+func (m *Manager) FreePages() int { return m.free.Free() }
+
+// UsedPages returns the number of allocated pages.
+func (m *Manager) UsedPages() int { return m.free.Used() }
+
+// TokensPerHiPage returns the capacity of a high-precision page.
+func (m *Manager) TokensPerHiPage() int { return m.capHi }
+
+// TokensPerLoPage returns the capacity of a low-precision page.
+func (m *Manager) TokensPerLoPage() int { return m.capLo }
+
+// tableSlots is the page-table entry length: max sequence length divided by
+// tokens per high-precision page (paper §5.2 — low-precision pages hold
+// more tokens, so this side can never overflow first).
+func (m *Manager) tableSlots() int {
+	s := (m.cfg.MaxSeqLen + m.capHi - 1) / m.capHi
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// SeqCache is the per-sequence view: one HeadCache per KV head managed by
+// this worker.
+type SeqCache struct {
+	ID    int
+	Heads []*HeadCache
+	mgr   *Manager
+}
+
+// AddSequence registers a sequence with numHeads KV heads and returns its
+// cache view.
+func (m *Manager) AddSequence(id, numHeads int) (*SeqCache, error) {
+	if _, dup := m.seqs[id]; dup {
+		return nil, fmt.Errorf("kvcache: sequence %d already registered", id)
+	}
+	if numHeads <= 0 {
+		return nil, fmt.Errorf("kvcache: sequence needs at least one head")
+	}
+	sc := &SeqCache{ID: id, Heads: make([]*HeadCache, numHeads), mgr: m}
+	for i := range sc.Heads {
+		sc.Heads[i] = &HeadCache{
+			mgr:   m,
+			table: NewBiTable(m.tableSlots()),
+		}
+	}
+	m.seqs[id] = sc
+	return sc, nil
+}
+
+// Sequence returns a registered sequence's cache view.
+func (m *Manager) Sequence(id int) (*SeqCache, bool) {
+	sc, ok := m.seqs[id]
+	return sc, ok
+}
+
+// ReleaseSequence recycles every page of a finished sequence.
+func (m *Manager) ReleaseSequence(id int) error {
+	sc, ok := m.seqs[id]
+	if !ok {
+		return fmt.Errorf("kvcache: unknown sequence %d", id)
+	}
+	lists := make([][]int32, len(sc.Heads))
+	for i, hc := range sc.Heads {
+		lists[i] = hc.table.DrainAll()
+		hc.hiTokens, hc.loTokens = 0, 0
+	}
+	m.free.RecycleBatch(lists)
+	delete(m.seqs, id)
+	return nil
+}
+
+// CompactStats counts the work of one compaction pass; the gpusim cost
+// model converts these into simulated time.
+type CompactStats struct {
+	TokenOps       int // per-token planning operations
+	Regions        int // (request × head) regions coordinated
+	PagesAllocated int
+	PagesFreed     int
+}
+
+// Add accumulates another stats record.
+func (s *CompactStats) Add(o CompactStats) {
+	s.TokenOps += o.TokenOps
+	s.Regions += o.Regions
+	s.PagesAllocated += o.PagesAllocated
+	s.PagesFreed += o.PagesFreed
+}
+
+// HeadDemand is the planning-phase output of one head in the prompt phase:
+// how many tokens it stores at each tier after compression.
+type HeadDemand struct {
+	HiTokens int
+	LoTokens int
+}
+
+// PromptCompact runs the full prompt-phase compaction workflow (paper
+// §5.3) for one sequence: conservative allocation assuming every prompt
+// token is stored at high precision, per-head planning (demands computed by
+// the caller's compression policy), and parallel reclamation of unused
+// pages. Counts-only: materialized token payloads are appended separately
+// by the policy via HeadCache in accuracy experiments.
+func (m *Manager) PromptCompact(seqID, promptLen int, demands []HeadDemand) (CompactStats, error) {
+	sc, ok := m.seqs[seqID]
+	if !ok {
+		return CompactStats{}, fmt.Errorf("kvcache: unknown sequence %d", seqID)
+	}
+	if len(demands) != len(sc.Heads) {
+		return CompactStats{}, fmt.Errorf("kvcache: %d demands for %d heads", len(demands), len(sc.Heads))
+	}
+	nHeads := len(sc.Heads)
+	conservative := (promptLen + m.capHi - 1) / m.capHi
+
+	// Conservative allocation: every head gets ceil(promptLen/capHi) pages.
+	counts := make([]int32, nHeads)
+	for i := range counts {
+		counts[i] = int32(conservative)
+	}
+	allocated, err := m.free.AllocBatch(counts)
+	if err != nil {
+		return CompactStats{}, err
+	}
+
+	// Planning phase (parallel per head in the real system): compute page
+	// needs from token demands; TokenOps accounts for the per-token scan.
+	stats := CompactStats{
+		TokenOps: promptLen * nHeads,
+		Regions:  nHeads,
+	}
+
+	// Coordination: assign used pages to tables, gather unused for
+	// recycling.
+	unused := make([][]int32, nHeads)
+	for i, hc := range sc.Heads {
+		d := demands[i]
+		if d.HiTokens < 0 || d.LoTokens < 0 || d.HiTokens+d.LoTokens > promptLen {
+			// roll back this head's pages and all subsequent
+			m.free.RecycleBatch(allocated[i:])
+			return CompactStats{}, fmt.Errorf("kvcache: head %d demand (%d,%d) exceeds prompt %d",
+				i, d.HiTokens, d.LoTokens, promptLen)
+		}
+		hiPages := (d.HiTokens + m.capHi - 1) / m.capHi
+		loPages := (d.LoTokens + m.capLo - 1) / m.capLo
+		need := hiPages + loPages
+		ids := allocated[i]
+		if need > len(ids) {
+			// Low-precision pages hold ≥ as many tokens as high-precision
+			// ones and demands sum to ≤ promptLen, so the conservative
+			// allocation always suffices — except when *both* tiers round
+			// up; top up from the free list in that rare case.
+			extra := make([]int32, need-len(ids))
+			for j := range extra {
+				id, err2 := m.free.Alloc()
+				if err2 != nil {
+					m.free.RecycleBatch([][]int32{ids})
+					return CompactStats{}, err2
+				}
+				extra[j] = id
+			}
+			ids = append(ids, extra...)
+			stats.PagesAllocated += len(extra)
+		}
+		for _, id := range ids[:hiPages] {
+			m.pool.Configure(id, m.cfg.HiPrec)
+			if err := hc.table.PushHi(id); err != nil {
+				return CompactStats{}, err
+			}
+		}
+		for _, id := range ids[hiPages : hiPages+loPages] {
+			m.pool.Configure(id, m.cfg.LoPrec)
+			if err := hc.table.PushLo(id); err != nil {
+				return CompactStats{}, err
+			}
+		}
+		unused[i] = ids[hiPages+loPages:]
+		hc.hiTokens = d.HiTokens
+		hc.loTokens = d.LoTokens
+		hc.markCounts(hiPages, loPages, d.HiTokens, d.LoTokens)
+		stats.PagesAllocated += hiPages + loPages
+		stats.PagesFreed += len(unused[i])
+	}
+	m.free.RecycleBatch(unused)
+	return stats, nil
+}
+
+// GenDemand is one head's generation-step memory demand: how many
+// additional tokens land in each tier this step (0 or 1 each under
+// Algorithm 1; the candidate goes to one tier and a victim may be
+// downgraded into the other).
+type GenDemand struct {
+	HiDelta int
+	LoDelta int
+	// HiRemoved / LoRemoved report evictions (pruned or downgraded away);
+	// they free no pages during generation (paper §5.3: recycling happens
+	// only when the request finishes), but keep token counts correct.
+	HiRemoved int
+	LoRemoved int
+}
+
+// GenCompact runs one generation-step compaction for a set of sequences:
+// each head allocates at most the pages it needs (usually 0, at most one
+// per tier), coordinated by one batch prefix-sum allocation across all
+// heads of all sequences.
+func (m *Manager) GenCompact(seqIDs []int, demands [][]GenDemand) (CompactStats, error) {
+	if len(seqIDs) != len(demands) {
+		return CompactStats{}, fmt.Errorf("kvcache: %d seqs vs %d demand sets", len(seqIDs), len(demands))
+	}
+	type headRef struct {
+		hc     *HeadCache
+		d      GenDemand
+		needHi int
+		needLo int
+	}
+	var refs []headRef
+	var counts []int32
+	stats := CompactStats{}
+	for si, id := range seqIDs {
+		sc, ok := m.seqs[id]
+		if !ok {
+			return CompactStats{}, fmt.Errorf("kvcache: unknown sequence %d", id)
+		}
+		if len(demands[si]) != len(sc.Heads) {
+			return CompactStats{}, fmt.Errorf("kvcache: seq %d: %d demands for %d heads",
+				id, len(demands[si]), len(sc.Heads))
+		}
+		for hi, d := range demands[si] {
+			hc := sc.Heads[hi]
+			needHi := pagesNeeded(hc.hiTokens+d.HiDelta-d.HiRemoved, m.capHi) - hc.table.Hi()
+			if needHi < 0 {
+				needHi = 0
+			}
+			needLo := pagesNeeded(hc.loTokens+d.LoDelta-d.LoRemoved, m.capLo) - hc.table.Lo()
+			if needLo < 0 {
+				needLo = 0
+			}
+			refs = append(refs, headRef{hc: hc, d: d, needHi: needHi, needLo: needLo})
+			counts = append(counts, int32(needHi+needLo))
+			// planning cost: victim search scans the head's cached tokens
+			stats.TokenOps += hc.hiTokens + hc.loTokens
+			stats.Regions++
+		}
+	}
+	allocated, err := m.free.AllocBatch(counts)
+	if err != nil {
+		return CompactStats{}, err
+	}
+	for i, ref := range refs {
+		ids := allocated[i]
+		for _, id := range ids[:ref.needHi] {
+			m.pool.Configure(id, m.cfg.HiPrec)
+			if err := ref.hc.table.PushHi(id); err != nil {
+				return CompactStats{}, err
+			}
+		}
+		for _, id := range ids[ref.needHi:] {
+			m.pool.Configure(id, m.cfg.LoPrec)
+			if err := ref.hc.table.PushLo(id); err != nil {
+				return CompactStats{}, err
+			}
+		}
+		ref.hc.hiTokens += ref.d.HiDelta - ref.d.HiRemoved
+		ref.hc.loTokens += ref.d.LoDelta - ref.d.LoRemoved
+		stats.PagesAllocated += len(ids)
+	}
+	return stats, nil
+}
+
+func pagesNeeded(tokens, perPage int) int {
+	if tokens <= 0 {
+		return 0
+	}
+	return (tokens + perPage - 1) / perPage
+}
+
+// BytesUsed returns the total bytes of allocated pages (page granularity —
+// the quantity that bounds batch size on the device).
+func (m *Manager) BytesUsed() int64 {
+	return int64(m.free.Used()) * int64(m.cfg.PageBytes)
+}
+
+// MetadataBytes returns the total page-table footprint across registered
+// sequences.
+func (m *Manager) MetadataBytes() int {
+	var b int
+	for _, sc := range m.seqs {
+		for _, hc := range sc.Heads {
+			b += hc.table.MetadataBytes()
+		}
+	}
+	return b
+}
+
+// TrimSequence recycles empty trailing pages from every head of a
+// sequence. The paper's design recycles pages only when a request
+// finishes (§5.3); trimming is the natural extension for memory pressure:
+// Algorithm 1's evictions can leave an empty page at the tail of a tier,
+// and reclaiming it is cheaper than preempting a request. Returns the
+// number of pages freed.
+func (m *Manager) TrimSequence(seqID int) (int, error) {
+	sc, ok := m.seqs[seqID]
+	if !ok {
+		return 0, fmt.Errorf("kvcache: unknown sequence %d", seqID)
+	}
+	lists := make([][]int32, len(sc.Heads))
+	freed := 0
+	for i, hc := range sc.Heads {
+		var ids []int32
+		for _, level := range []Level{LevelHi, LevelLo} {
+			for hc.pageCount(level) > 0 {
+				last := hc.page(level, hc.pageCount(level)-1)
+				if last.N != 0 {
+					break
+				}
+				var id int32
+				var err error
+				if level == LevelHi {
+					id, err = hc.table.PopHi()
+				} else {
+					id, err = hc.table.PopLo()
+				}
+				if err != nil {
+					return freed, err
+				}
+				ids = append(ids, id)
+			}
+		}
+		lists[i] = ids
+		freed += len(ids)
+	}
+	m.free.RecycleBatch(lists)
+	return freed, nil
+}

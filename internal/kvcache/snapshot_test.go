@@ -1,0 +1,241 @@
+package kvcache
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"diffkv/internal/mathx"
+	"diffkv/internal/quant"
+)
+
+func populatedManager(t *testing.T, seed uint64) (*Manager, int) {
+	t.Helper()
+	m := testManager(t, true, 128)
+	sc, err := m.AddSequence(7, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := mathx.NewRNG(seed)
+	for h, hc := range sc.Heads {
+		for i := 0; i < 50+h*20; i++ {
+			k, v := genToken(rng, 128)
+			lvl := LevelHi
+			if i%3 == 0 {
+				lvl = LevelLo
+			}
+			if err := hc.AppendToken(lvl, k, v, float32(i)/10, int32(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return m, 7
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	src, seqID := populatedManager(t, 1)
+	var buf bytes.Buffer
+	if err := src.WriteSnapshot(&buf, seqID); err != nil {
+		t.Fatal(err)
+	}
+
+	dst := testManager(t, true, 128)
+	if err := dst.ReadSnapshot(bytes.NewReader(buf.Bytes()), 42); err != nil {
+		t.Fatal(err)
+	}
+	srcSeq, _ := src.Sequence(seqID)
+	dstSeq, _ := dst.Sequence(42)
+	if len(dstSeq.Heads) != len(srcSeq.Heads) {
+		t.Fatalf("head count %d vs %d", len(dstSeq.Heads), len(srcSeq.Heads))
+	}
+	for h := range srcSeq.Heads {
+		sh, dh := srcSeq.Heads[h], dstSeq.Heads[h]
+		if sh.HiTokens() != dh.HiTokens() || sh.LoTokens() != dh.LoTokens() {
+			t.Fatalf("head %d counts differ: %d/%d vs %d/%d",
+				h, sh.HiTokens(), sh.LoTokens(), dh.HiTokens(), dh.LoTokens())
+		}
+		// every restored token matches the original dequantized content
+		type tokState struct {
+			key, val []float32
+			score    float32
+		}
+		collect := func(hc *HeadCache) map[int32]tokState {
+			out := map[int32]tokState{}
+			for _, lvl := range []Level{LevelHi, LevelLo} {
+				hc.ForEachToken(lvl, func(p *Page, slot int) {
+					k := make([]float32, 128)
+					v := make([]float32, 128)
+					p.DequantToken(slot, k, v)
+					out[p.Position(slot)] = tokState{k, v, p.Score(slot)}
+				})
+			}
+			return out
+		}
+		want := collect(sh)
+		got := collect(dh)
+		if len(want) != len(got) {
+			t.Fatalf("head %d token count %d vs %d", h, len(got), len(want))
+		}
+		for pos, ws := range want {
+			gs, ok := got[pos]
+			if !ok {
+				t.Fatalf("head %d missing position %d", h, pos)
+			}
+			if gs.score != ws.score {
+				t.Fatalf("head %d pos %d score %v vs %v", h, pos, gs.score, ws.score)
+			}
+			if e := mathx.RelErr(gs.key, ws.key); e > 1e-6 {
+				t.Fatalf("head %d pos %d key mismatch %v", h, pos, e)
+			}
+			if e := mathx.RelErr(gs.val, ws.val); e > 1e-6 {
+				t.Fatalf("head %d pos %d value mismatch %v", h, pos, e)
+			}
+		}
+	}
+}
+
+func TestSnapshotRejectsBadMagic(t *testing.T) {
+	dst := testManager(t, true, 32)
+	err := dst.ReadSnapshot(strings.NewReader("NOPE-not-a-snapshot"), 1)
+	if err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Fatalf("expected magic error, got %v", err)
+	}
+	// failed restore must not leave the sequence registered
+	if _, ok := dst.Sequence(1); ok {
+		t.Fatal("failed restore left sequence registered")
+	}
+}
+
+func TestSnapshotRejectsDimMismatch(t *testing.T) {
+	src, seqID := populatedManager(t, 2)
+	var buf bytes.Buffer
+	if err := src.WriteSnapshot(&buf, seqID); err != nil {
+		t.Fatal(err)
+	}
+	dst, err := NewManager(Config{Dim: 64, PageBytes: 8192, NumPages: 32, Materialize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.ReadSnapshot(bytes.NewReader(buf.Bytes()), 1); err == nil {
+		t.Fatal("expected dim mismatch error")
+	}
+}
+
+func TestSnapshotRejectsPrecisionMismatch(t *testing.T) {
+	src, seqID := populatedManager(t, 3)
+	var buf bytes.Buffer
+	if err := src.WriteSnapshot(&buf, seqID); err != nil {
+		t.Fatal(err)
+	}
+	dst, err := NewManager(Config{
+		Dim: 128, PageBytes: 8192, NumPages: 64,
+		HiPrec: quant.K8V8, LoPrec: quant.K4V4, Materialize: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = dst.ReadSnapshot(bytes.NewReader(buf.Bytes()), 1)
+	if err == nil {
+		t.Fatal("expected precision mismatch error")
+	}
+	if dst.UsedPages() != 0 {
+		t.Fatal("failed restore leaked pages")
+	}
+}
+
+func TestSnapshotTruncated(t *testing.T) {
+	src, seqID := populatedManager(t, 4)
+	var buf bytes.Buffer
+	if err := src.WriteSnapshot(&buf, seqID); err != nil {
+		t.Fatal(err)
+	}
+	dst := testManager(t, true, 128)
+	half := buf.Bytes()[:buf.Len()/2]
+	if err := dst.ReadSnapshot(bytes.NewReader(half), 1); err == nil {
+		t.Fatal("expected truncation error")
+	}
+	if dst.UsedPages() != 0 {
+		t.Fatalf("truncated restore leaked %d pages", dst.UsedPages())
+	}
+}
+
+func TestSnapshotCountsOnlyRejected(t *testing.T) {
+	m := testManager(t, false, 16)
+	var buf bytes.Buffer
+	if err := m.WriteSnapshot(&buf, 1); err == nil {
+		t.Fatal("counts-only snapshot should fail")
+	}
+	if err := m.ReadSnapshot(strings.NewReader(""), 1); err == nil {
+		t.Fatal("counts-only restore should fail")
+	}
+}
+
+func TestSnapshotUnknownSequence(t *testing.T) {
+	m := testManager(t, true, 16)
+	var buf bytes.Buffer
+	if err := m.WriteSnapshot(&buf, 99); err == nil {
+		t.Fatal("expected unknown-sequence error")
+	}
+}
+
+// Property: snapshots round-trip for arbitrary population patterns.
+func TestSnapshotRoundTripProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	f := func(pattern []uint8) bool {
+		if len(pattern) > 64 {
+			pattern = pattern[:64]
+		}
+		src, err := NewManager(Config{
+			Dim: 32, PageBytes: 2048, NumPages: 64, Materialize: true,
+		})
+		if err != nil {
+			return false
+		}
+		sc, err := src.AddSequence(1, 2)
+		if err != nil {
+			return false
+		}
+		rng := mathx.NewRNG(uint64(len(pattern)) + 1)
+		for i, b := range pattern {
+			hc := sc.Heads[int(b)%2]
+			lvl := LevelHi
+			if b%3 == 0 {
+				lvl = LevelLo
+			}
+			k := make([]float32, 32)
+			v := make([]float32, 32)
+			rng.NormVec(k, 1)
+			rng.NormVec(v, 1)
+			if err := hc.AppendToken(lvl, k, v, float32(b), int32(i)); err != nil {
+				return false
+			}
+		}
+		var buf bytes.Buffer
+		if err := src.WriteSnapshot(&buf, 1); err != nil {
+			return false
+		}
+		dst, err := NewManager(Config{
+			Dim: 32, PageBytes: 2048, NumPages: 64, Materialize: true,
+		})
+		if err != nil {
+			return false
+		}
+		if err := dst.ReadSnapshot(bytes.NewReader(buf.Bytes()), 1); err != nil {
+			return false
+		}
+		dsc, _ := dst.Sequence(1)
+		for h := range sc.Heads {
+			if sc.Heads[h].HiTokens() != dsc.Heads[h].HiTokens() ||
+				sc.Heads[h].LoTokens() != dsc.Heads[h].LoTokens() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

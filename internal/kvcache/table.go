@@ -1,0 +1,205 @@
+package kvcache
+
+import "fmt"
+
+// BiTable is the bidirectional page table of one (request, KV-head) pair
+// (paper §5.2): a single fixed-length array in which high-precision page
+// IDs grow from the left and low-precision page IDs grow from the right.
+// Its length is MaxSeqLen / tokensPerHighPrecisionPage, which can never
+// overflow because low-precision pages always hold more tokens than
+// high-precision ones.
+type BiTable struct {
+	slots []int32
+	hi    int // number of high-precision pages (left side)
+	lo    int // number of low-precision pages (right side)
+}
+
+// NewBiTable creates a table with n slots.
+func NewBiTable(n int) *BiTable {
+	if n <= 0 {
+		panic("kvcache: bidirectional table needs at least one slot")
+	}
+	t := &BiTable{slots: make([]int32, n)}
+	for i := range t.slots {
+		t.slots[i] = -1
+	}
+	return t
+}
+
+// Len returns the table capacity in slots.
+func (t *BiTable) Len() int { return len(t.slots) }
+
+// Hi returns the number of high-precision pages.
+func (t *BiTable) Hi() int { return t.hi }
+
+// Lo returns the number of low-precision pages.
+func (t *BiTable) Lo() int { return t.lo }
+
+// PushHi appends a high-precision page ID on the left side.
+func (t *BiTable) PushHi(id int32) error {
+	if t.hi+t.lo >= len(t.slots) {
+		return fmt.Errorf("kvcache: bidirectional table overflow (%d slots)", len(t.slots))
+	}
+	t.slots[t.hi] = id
+	t.hi++
+	return nil
+}
+
+// PushLo appends a low-precision page ID on the right side.
+func (t *BiTable) PushLo(id int32) error {
+	if t.hi+t.lo >= len(t.slots) {
+		return fmt.Errorf("kvcache: bidirectional table overflow (%d slots)", len(t.slots))
+	}
+	t.slots[len(t.slots)-1-t.lo] = id
+	t.lo++
+	return nil
+}
+
+// PopHi removes and returns the most recently pushed high-precision page.
+func (t *BiTable) PopHi() (int32, error) {
+	if t.hi == 0 {
+		return -1, fmt.Errorf("kvcache: PopHi on empty high side")
+	}
+	t.hi--
+	id := t.slots[t.hi]
+	t.slots[t.hi] = -1
+	return id, nil
+}
+
+// PopLo removes and returns the most recently pushed low-precision page.
+func (t *BiTable) PopLo() (int32, error) {
+	if t.lo == 0 {
+		return -1, fmt.Errorf("kvcache: PopLo on empty low side")
+	}
+	t.lo--
+	id := t.slots[len(t.slots)-1-t.lo]
+	t.slots[len(t.slots)-1-t.lo] = -1
+	return id, nil
+}
+
+// HiID returns the i-th high-precision page ID in push order.
+func (t *BiTable) HiID(i int) int32 { return t.slots[i] }
+
+// LoID returns the i-th low-precision page ID in push order.
+func (t *BiTable) LoID(i int) int32 { return t.slots[len(t.slots)-1-i] }
+
+// HiIDs returns the high-precision page IDs in push order (shared backing
+// array; do not mutate).
+func (t *BiTable) HiIDs() []int32 { return t.slots[:t.hi] }
+
+// LoIDs returns the low-precision page IDs in push order (copied, since the
+// right side is stored reversed).
+func (t *BiTable) LoIDs() []int32 {
+	out := make([]int32, t.lo)
+	for i := 0; i < t.lo; i++ {
+		out[i] = t.LoID(i)
+	}
+	return out
+}
+
+// DrainAll removes every page ID from both sides and returns them —
+// used when a sequence finishes and its pages are recycled.
+func (t *BiTable) DrainAll() []int32 {
+	out := make([]int32, 0, t.hi+t.lo)
+	out = append(out, t.HiIDs()...)
+	out = append(out, t.LoIDs()...)
+	for i := range t.slots {
+		t.slots[i] = -1
+	}
+	t.hi, t.lo = 0, 0
+	return out
+}
+
+// MetadataBytes returns the memory footprint of the table (4 bytes per
+// slot) — the quantity behind the paper's "32 MB for batch 128 on
+// Llama3-8B" claim.
+func (t *BiTable) MetadataBytes() int { return 4 * len(t.slots) }
+
+// MultiTable composes bidirectional tables to support more than two
+// precision levels (paper §5.3): levels 2k and 2k+1 share the k-th
+// bidirectional table (even levels on the high side, odd levels on the low
+// side). Three levels therefore use one bidirectional plus one
+// unidirectional table (a BiTable using only its high side), four levels
+// use two bidirectional tables, and so on.
+type MultiTable struct {
+	tables []*BiTable
+	levels int
+}
+
+// NewMultiTable creates a table stack for the given number of precision
+// levels, each underlying table having n slots.
+func NewMultiTable(levels, n int) *MultiTable {
+	if levels < 1 {
+		panic("kvcache: MultiTable needs at least one level")
+	}
+	nt := (levels + 1) / 2
+	mt := &MultiTable{tables: make([]*BiTable, nt), levels: levels}
+	for i := range mt.tables {
+		mt.tables[i] = NewBiTable(n)
+	}
+	return mt
+}
+
+// Levels returns the number of precision levels.
+func (m *MultiTable) Levels() int { return m.levels }
+
+func (m *MultiTable) side(level int) (*BiTable, bool) {
+	if level < 0 || level >= m.levels {
+		panic(fmt.Sprintf("kvcache: level %d out of range [0,%d)", level, m.levels))
+	}
+	return m.tables[level/2], level%2 == 0
+}
+
+// Push appends a page ID at the given precision level.
+func (m *MultiTable) Push(level int, id int32) error {
+	t, hiSide := m.side(level)
+	if hiSide {
+		return t.PushHi(id)
+	}
+	return t.PushLo(id)
+}
+
+// Pop removes the most recently pushed page at the given level.
+func (m *MultiTable) Pop(level int) (int32, error) {
+	t, hiSide := m.side(level)
+	if hiSide {
+		return t.PopHi()
+	}
+	return t.PopLo()
+}
+
+// Count returns the number of pages at the given level.
+func (m *MultiTable) Count(level int) int {
+	t, hiSide := m.side(level)
+	if hiSide {
+		return t.Hi()
+	}
+	return t.Lo()
+}
+
+// IDs returns the page IDs of a level in push order.
+func (m *MultiTable) IDs(level int) []int32 {
+	t, hiSide := m.side(level)
+	if hiSide {
+		return append([]int32(nil), t.HiIDs()...)
+	}
+	return t.LoIDs()
+}
+
+// DrainAll empties every level and returns all page IDs.
+func (m *MultiTable) DrainAll() []int32 {
+	var out []int32
+	for _, t := range m.tables {
+		out = append(out, t.DrainAll()...)
+	}
+	return out
+}
+
+// MetadataBytes returns the total footprint of the stack.
+func (m *MultiTable) MetadataBytes() int {
+	var b int
+	for _, t := range m.tables {
+		b += t.MetadataBytes()
+	}
+	return b
+}

@@ -1,0 +1,220 @@
+package kvcache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBiTablePushPop(t *testing.T) {
+	bt := NewBiTable(6)
+	for i := int32(0); i < 3; i++ {
+		if err := bt.PushHi(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := int32(10); i < 13; i++ {
+		if err := bt.PushLo(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if bt.Hi() != 3 || bt.Lo() != 3 {
+		t.Fatalf("hi/lo = %d/%d", bt.Hi(), bt.Lo())
+	}
+	// table full now
+	if err := bt.PushHi(99); err == nil {
+		t.Fatal("expected overflow")
+	}
+	if err := bt.PushLo(99); err == nil {
+		t.Fatal("expected overflow")
+	}
+	// push order preserved
+	hi := bt.HiIDs()
+	for i, id := range hi {
+		if id != int32(i) {
+			t.Fatalf("hi order wrong: %v", hi)
+		}
+	}
+	lo := bt.LoIDs()
+	for i, id := range lo {
+		if id != int32(10+i) {
+			t.Fatalf("lo order wrong: %v", lo)
+		}
+	}
+	// pops reverse push order
+	id, err := bt.PopHi()
+	if err != nil || id != 2 {
+		t.Fatalf("PopHi = %d, %v", id, err)
+	}
+	id, err = bt.PopLo()
+	if err != nil || id != 12 {
+		t.Fatalf("PopLo = %d, %v", id, err)
+	}
+}
+
+func TestBiTablePopEmpty(t *testing.T) {
+	bt := NewBiTable(2)
+	if _, err := bt.PopHi(); err == nil {
+		t.Fatal("expected error")
+	}
+	if _, err := bt.PopLo(); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestBiTableDrainAll(t *testing.T) {
+	bt := NewBiTable(8)
+	bt.PushHi(1)
+	bt.PushHi(2)
+	bt.PushLo(7)
+	ids := bt.DrainAll()
+	if len(ids) != 3 {
+		t.Fatalf("drained %d ids", len(ids))
+	}
+	if bt.Hi() != 0 || bt.Lo() != 0 {
+		t.Fatal("drain left entries")
+	}
+	// table reusable after drain
+	if err := bt.PushLo(3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBiTableMetadataBytes(t *testing.T) {
+	if NewBiTable(100).MetadataBytes() != 400 {
+		t.Fatal("metadata accounting wrong")
+	}
+}
+
+func TestBiTablePaperMetadataClaim(t *testing.T) {
+	// Paper §5.2: batch 128 on Llama3-8B (32 layers x 8 KV heads), total
+	// bidirectional page tables ≈ 32 MB. With 8192 max seq len and a
+	// high-precision page holding ~37 tokens (8KB page, K8V4, dim 128)
+	// each table has ~222 slots ≈ 888 B; 128*32*8 tables ≈ 29 MB. Verify
+	// the same order of magnitude.
+	slots := (8192 + 37 - 1) / 37
+	total := 128 * 32 * 8 * NewBiTable(slots).MetadataBytes()
+	if total < 8<<20 || total > 64<<20 {
+		t.Fatalf("page-table metadata = %d bytes, want tens of MB", total)
+	}
+}
+
+// Property: any interleaving of hi/lo pushes never corrupts the other side
+// and never exceeds capacity.
+func TestBiTableInterleavingProperty(t *testing.T) {
+	f := func(ops []bool) bool {
+		n := 16
+		bt := NewBiTable(n)
+		var hiRef, loRef []int32
+		next := int32(0)
+		for _, hiSide := range ops {
+			if hiSide {
+				if err := bt.PushHi(next); err != nil {
+					if bt.Hi()+bt.Lo() != n {
+						return false // spurious overflow
+					}
+				} else {
+					hiRef = append(hiRef, next)
+				}
+			} else {
+				if err := bt.PushLo(next); err != nil {
+					if bt.Hi()+bt.Lo() != n {
+						return false
+					}
+				} else {
+					loRef = append(loRef, next)
+				}
+			}
+			next++
+		}
+		if bt.Hi() != len(hiRef) || bt.Lo() != len(loRef) {
+			return false
+		}
+		for i, id := range bt.HiIDs() {
+			if id != hiRef[i] {
+				return false
+			}
+		}
+		for i, id := range bt.LoIDs() {
+			if id != loRef[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiTableTwoLevels(t *testing.T) {
+	mt := NewMultiTable(2, 8)
+	mt.Push(0, 5)
+	mt.Push(1, 9)
+	if mt.Count(0) != 1 || mt.Count(1) != 1 {
+		t.Fatal("counts wrong")
+	}
+	if ids := mt.IDs(0); len(ids) != 1 || ids[0] != 5 {
+		t.Fatalf("level0 ids: %v", ids)
+	}
+	if ids := mt.IDs(1); len(ids) != 1 || ids[0] != 9 {
+		t.Fatalf("level1 ids: %v", ids)
+	}
+}
+
+func TestMultiTableThreeLevels(t *testing.T) {
+	// paper §5.3: three levels = one bidirectional + one unidirectional
+	mt := NewMultiTable(3, 4)
+	if len(mt.tables) != 2 {
+		t.Fatalf("3 levels should use 2 tables, got %d", len(mt.tables))
+	}
+	for lvl := 0; lvl < 3; lvl++ {
+		if err := mt.Push(lvl, int32(100+lvl)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for lvl := 0; lvl < 3; lvl++ {
+		if mt.Count(lvl) != 1 {
+			t.Fatalf("level %d count = %d", lvl, mt.Count(lvl))
+		}
+		ids := mt.IDs(lvl)
+		if ids[0] != int32(100+lvl) {
+			t.Fatalf("level %d ids = %v", lvl, ids)
+		}
+	}
+	id, err := mt.Pop(2)
+	if err != nil || id != 102 {
+		t.Fatalf("Pop(2) = %d, %v", id, err)
+	}
+}
+
+func TestMultiTableFourLevels(t *testing.T) {
+	// paper §5.3: four levels = two bidirectional tables
+	mt := NewMultiTable(4, 4)
+	if len(mt.tables) != 2 {
+		t.Fatalf("4 levels should use 2 tables, got %d", len(mt.tables))
+	}
+	for lvl := 0; lvl < 4; lvl++ {
+		mt.Push(lvl, int32(lvl))
+		mt.Push(lvl, int32(10+lvl))
+	}
+	for lvl := 0; lvl < 4; lvl++ {
+		ids := mt.IDs(lvl)
+		if len(ids) != 2 || ids[0] != int32(lvl) || ids[1] != int32(10+lvl) {
+			t.Fatalf("level %d ids = %v", lvl, ids)
+		}
+	}
+	drained := mt.DrainAll()
+	if len(drained) != 8 {
+		t.Fatalf("drained %d", len(drained))
+	}
+}
+
+func TestMultiTableInvalidLevel(t *testing.T) {
+	mt := NewMultiTable(2, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	mt.Push(2, 0)
+}

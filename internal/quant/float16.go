@@ -1,0 +1,99 @@
+package quant
+
+import "math"
+
+// Float16 encode/decode (IEEE 754 binary16, round-to-nearest-even). The
+// "FP16" storage tier stores keys/values as 2-byte halves so byte
+// accounting matches the paper's baselines exactly.
+
+// F32ToF16 converts a float32 to its binary16 representation.
+func F32ToF16(f float32) uint16 {
+	b := math.Float32bits(f)
+	sign := uint16((b >> 16) & 0x8000)
+	exp := int32((b>>23)&0xff) - 127 + 15
+	mant := b & 0x7fffff
+
+	switch {
+	case exp >= 0x1f:
+		// overflow -> inf (or preserve NaN)
+		if (b>>23)&0xff == 0xff && mant != 0 {
+			return sign | 0x7e00 // quiet NaN
+		}
+		return sign | 0x7c00
+	case exp <= 0:
+		// subnormal or zero
+		if exp < -10 {
+			return sign
+		}
+		mant |= 0x800000
+		shift := uint32(14 - exp)
+		half := uint16(mant >> shift)
+		// round to nearest even
+		rem := mant & ((1 << shift) - 1)
+		midpoint := uint32(1) << (shift - 1)
+		if rem > midpoint || (rem == midpoint && half&1 == 1) {
+			half++
+		}
+		return sign | half
+	default:
+		half := sign | uint16(exp)<<10 | uint16(mant>>13)
+		rem := mant & 0x1fff
+		if rem > 0x1000 || (rem == 0x1000 && half&1 == 1) {
+			half++
+		}
+		return half
+	}
+}
+
+// F16ToF32 converts a binary16 representation to float32.
+func F16ToF32(h uint16) float32 {
+	sign := uint32(h&0x8000) << 16
+	exp := uint32(h>>10) & 0x1f
+	mant := uint32(h & 0x3ff)
+
+	switch {
+	case exp == 0:
+		if mant == 0 {
+			return math.Float32frombits(sign)
+		}
+		// subnormal: normalize
+		e := uint32(127 - 15 + 1)
+		for mant&0x400 == 0 {
+			mant <<= 1
+			e--
+		}
+		mant &= 0x3ff
+		return math.Float32frombits(sign | e<<23 | mant<<13)
+	case exp == 0x1f:
+		if mant == 0 {
+			return math.Float32frombits(sign | 0x7f800000)
+		}
+		return math.Float32frombits(sign | 0x7fc00000 | mant<<13)
+	default:
+		return math.Float32frombits(sign | (exp-15+127)<<23 | mant<<13)
+	}
+}
+
+// PackF16 encodes src as consecutive little-endian binary16 values in dst.
+// dst must have length >= 2*len(src).
+func PackF16(src []float32, dst []byte) {
+	if len(dst) < 2*len(src) {
+		panic("quant: PackF16 destination too small")
+	}
+	for i, v := range src {
+		h := F32ToF16(v)
+		dst[2*i] = byte(h)
+		dst[2*i+1] = byte(h >> 8)
+	}
+}
+
+// UnpackF16 decodes n binary16 values from src into dst.
+func UnpackF16(src []byte, dst []float32) {
+	if len(src) < 2*len(dst) {
+		panic("quant: UnpackF16 source too small")
+	}
+	for i := range dst {
+		h := uint16(src[2*i]) | uint16(src[2*i+1])<<8
+		dst[i] = F16ToF32(h)
+	}
+}

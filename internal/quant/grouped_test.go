@@ -1,0 +1,82 @@
+package quant
+
+import (
+	"testing"
+
+	"diffkv/internal/mathx"
+)
+
+func TestGroupedMetaBytes(t *testing.T) {
+	if GroupedMetaBytes(128, 32) != 4*8 {
+		t.Fatal("128/32 groups metadata wrong")
+	}
+	if GroupedMetaBytes(130, 32) != 5*8 { // partial group
+		t.Fatal("partial group metadata wrong")
+	}
+}
+
+func TestGroupedTokenBytesExceedsPerVector(t *testing.T) {
+	// group-wise metadata must cost more than per-vector metadata
+	dim := 128
+	if GroupedTokenBytes(dim, K4V4, 32) <= K4V4.TokenBytes(dim) {
+		t.Fatal("grouped tokens should be larger (more metadata)")
+	}
+}
+
+func TestRoundTripGroupedBeatsPerVectorWithOutliers(t *testing.T) {
+	// A vector with outlier channels: grouped quantization contains the
+	// damage to the outlier's group; per-vector quantization corrupts
+	// every element. This is why Atom-style INT4 is usable while
+	// per-vector 4-bit keys are not.
+	rng := mathx.NewRNG(1)
+	src := make([]float32, 128)
+	rng.NormVec(src, 1)
+	src[5] += 40
+	src[77] -= 40
+
+	perVec := RoundTrip(src, 4)
+	grouped := RoundTripGrouped(src, 4, 32)
+	ePer := mathx.RelErr(perVec, src)
+	eGrp := mathx.RelErr(grouped, src)
+	if eGrp >= ePer/2 {
+		t.Fatalf("grouped error %v should be well below per-vector %v", eGrp, ePer)
+	}
+}
+
+func TestRoundTripGroupedPartialTail(t *testing.T) {
+	rng := mathx.NewRNG(2)
+	src := make([]float32, 100) // not a multiple of 32
+	rng.NormVec(src, 1)
+	out := RoundTripGrouped(src, 8, 32)
+	if len(out) != 100 {
+		t.Fatalf("length = %d", len(out))
+	}
+	if e := mathx.RelErr(out, src); e > 0.02 {
+		t.Fatalf("8-bit grouped error = %v", e)
+	}
+}
+
+func TestRoundTripGroupedDegenerateGroupSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	RoundTripGrouped([]float32{1}, 4, 0)
+}
+
+func TestRoundTripMatchesQuantizeInto(t *testing.T) {
+	rng := mathx.NewRNG(3)
+	src := make([]float32, 64)
+	rng.NormVec(src, 1)
+	viaHelper := RoundTrip(src, 4)
+	buf := make([]byte, PackedLen(64, 4))
+	s, z := QuantizeInto(src, 4, buf)
+	direct := make([]float32, 64)
+	DequantizeInto(buf, 4, 64, s, z, direct)
+	for i := range direct {
+		if direct[i] != viaHelper[i] {
+			t.Fatal("RoundTrip diverges from direct quantize/dequantize")
+		}
+	}
+}

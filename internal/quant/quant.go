@@ -1,0 +1,170 @@
+// Package quant implements the KV-cache quantization substrate: asymmetric
+// per-vector integer quantization at 1/2/4/8 bits with dense bit packing, an
+// IEEE binary16 codec for the FP16 tier, precision configurations (K8V4,
+// K4V2, ...), and fused dequantize-compute kernels used by the attention
+// path.
+//
+// The quantization scheme follows the paper (§2.2): for a vector X compute a
+// scale s and zero point z from Xmin/Xmax, store Q = round((X-z)/s) in b
+// bits, and reconstruct X̂ = s·Q + z. Scale and zero point are kept in
+// higher precision, one pair per vector.
+package quant
+
+import "fmt"
+
+// Bits values supported for integer quantization. BitsF16 selects binary16
+// storage (no integer quantization).
+const (
+	BitsF16 = 16
+)
+
+// ValidBits reports whether b is a supported storage width.
+func ValidBits(b int) bool {
+	switch b {
+	case 1, 2, 4, 8, 16:
+		return true
+	}
+	return false
+}
+
+// PackedLen returns the number of bytes needed to store n values at the
+// given bit width (including the FP16 tier).
+func PackedLen(n, bits int) int {
+	if !ValidBits(bits) {
+		panic(fmt.Sprintf("quant: unsupported bit width %d", bits))
+	}
+	if bits == BitsF16 {
+		return 2 * n
+	}
+	return (n*bits + 7) / 8
+}
+
+// levels returns the number of representable steps for a bit width.
+func levels(bits int) int { return (1 << bits) - 1 }
+
+// QuantizeInto quantizes src at the given bit width into dst (packed) and
+// returns the (scale, zero) metadata. dst must have at least PackedLen(len(src), bits)
+// bytes. For bits==16 it stores binary16 and returns (1, 0).
+func QuantizeInto(src []float32, bits int, dst []byte) (scale, zero float32) {
+	if !ValidBits(bits) {
+		panic(fmt.Sprintf("quant: unsupported bit width %d", bits))
+	}
+	if len(dst) < PackedLen(len(src), bits) {
+		panic("quant: QuantizeInto destination too small")
+	}
+	if bits == BitsF16 {
+		PackF16(src, dst)
+		return 1, 0
+	}
+	if len(src) == 0 {
+		return 1, 0
+	}
+	minV, maxV := src[0], src[0]
+	for _, v := range src[1:] {
+		if v < minV {
+			minV = v
+		}
+		if v > maxV {
+			maxV = v
+		}
+	}
+	zero = minV
+	span := maxV - minV
+	l := levels(bits)
+	if span <= 0 {
+		// constant vector: any scale works; use 1 so Q=0 reconstructs zero
+		// exactly.
+		scale = 1
+	} else {
+		scale = span / float32(l)
+	}
+	inv := 1 / scale
+	// zero the packed region we will OR into
+	for i := 0; i < PackedLen(len(src), bits); i++ {
+		dst[i] = 0
+	}
+	perByte := 8 / bits
+	for i, v := range src {
+		q := int((v-zero)*inv + 0.5)
+		if q < 0 {
+			q = 0
+		}
+		if q > l {
+			q = l
+		}
+		byteIdx := i / perByte
+		shift := uint((i % perByte) * bits)
+		dst[byteIdx] |= byte(q) << shift
+	}
+	return scale, zero
+}
+
+// DequantizeInto reconstructs n values from packed data into dst.
+func DequantizeInto(data []byte, bits, n int, scale, zero float32, dst []float32) {
+	if !ValidBits(bits) {
+		panic(fmt.Sprintf("quant: unsupported bit width %d", bits))
+	}
+	if len(dst) < n {
+		panic("quant: DequantizeInto destination too small")
+	}
+	if bits == BitsF16 {
+		UnpackF16(data, dst[:n])
+		return
+	}
+	perByte := 8 / bits
+	mask := byte(levels(bits))
+	for i := 0; i < n; i++ {
+		b := data[i/perByte]
+		q := (b >> uint((i%perByte)*bits)) & mask
+		dst[i] = scale*float32(q) + zero
+	}
+}
+
+// DequantDot computes dot(q, dequantize(data)) without materializing the
+// dequantized vector — the Go analogue of the paper's fused
+// dequantization+dot attention kernel for key processing.
+func DequantDot(q []float32, data []byte, bits int, scale, zero float32) float32 {
+	if bits == BitsF16 {
+		var s float32
+		for i := range q {
+			h := uint16(data[2*i]) | uint16(data[2*i+1])<<8
+			s += q[i] * F16ToF32(h)
+		}
+		return s
+	}
+	perByte := 8 / bits
+	mask := byte(levels(bits))
+	// dot(q, s*Q+z) = s*dot(q,Q) + z*sum(q)
+	var dotQ, sumQ float32
+	for i := range q {
+		b := data[i/perByte]
+		qv := (b >> uint((i%perByte)*bits)) & mask
+		dotQ += q[i] * float32(qv)
+		sumQ += q[i]
+	}
+	return scale*dotQ + zero*sumQ
+}
+
+// DequantAxpy computes dst += w * dequantize(data) for an n-element packed
+// vector — the fused kernel for value processing (weighted sum of values).
+func DequantAxpy(w float32, data []byte, bits, n int, scale, zero float32, dst []float32) {
+	if len(dst) < n {
+		panic("quant: DequantAxpy destination too small")
+	}
+	if bits == BitsF16 {
+		for i := 0; i < n; i++ {
+			h := uint16(data[2*i]) | uint16(data[2*i+1])<<8
+			dst[i] += w * F16ToF32(h)
+		}
+		return
+	}
+	perByte := 8 / bits
+	mask := byte(levels(bits))
+	ws := w * scale
+	wz := w * zero
+	for i := 0; i < n; i++ {
+		b := data[i/perByte]
+		q := (b >> uint((i%perByte)*bits)) & mask
+		dst[i] += ws*float32(q) + wz
+	}
+}

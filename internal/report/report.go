@@ -1,0 +1,126 @@
+// Package report renders experiment tables in machine-readable formats:
+// CSV for spreadsheets and plotting pipelines, Markdown for READMEs and
+// issue reports. cmd/diffkv-bench selects the format with -format.
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+
+	"diffkv/internal/experiments"
+)
+
+// Format selects an output renderer.
+type Format string
+
+// Supported formats.
+const (
+	FormatText     Format = "text"
+	FormatCSV      Format = "csv"
+	FormatMarkdown Format = "markdown"
+)
+
+// ParseFormat validates a -format flag value.
+func ParseFormat(s string) (Format, error) {
+	switch Format(s) {
+	case FormatText, FormatCSV, FormatMarkdown:
+		return Format(s), nil
+	case "md":
+		return FormatMarkdown, nil
+	case "":
+		return FormatText, nil
+	}
+	return "", fmt.Errorf("report: unknown format %q (text|csv|markdown)", s)
+}
+
+// Write renders tables in the chosen format.
+func Write(w io.Writer, tables []*experiments.Table, f Format) error {
+	switch f {
+	case FormatCSV:
+		return writeCSV(w, tables)
+	case FormatMarkdown:
+		return writeMarkdown(w, tables)
+	default:
+		for _, t := range tables {
+			if _, err := fmt.Fprintln(w, t); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// writeCSV emits one CSV stream per table, prefixed by a comment row with
+// the title (readable by spreadsheet apps, skippable by parsers).
+func writeCSV(w io.Writer, tables []*experiments.Table) error {
+	cw := csv.NewWriter(w)
+	for i, t := range tables {
+		if i > 0 {
+			cw.Flush()
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+		}
+		if err := cw.Write([]string{"# " + t.Title}); err != nil {
+			return err
+		}
+		if err := cw.Write(t.Header); err != nil {
+			return err
+		}
+		for _, row := range t.Rows {
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// writeMarkdown emits GitHub-flavored markdown tables.
+func writeMarkdown(w io.Writer, tables []*experiments.Table) error {
+	for _, t := range tables {
+		if _, err := fmt.Fprintf(w, "### %s\n\n", t.Title); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(escapeCells(t.Header), " | ")); err != nil {
+			return err
+		}
+		sep := make([]string, len(t.Header))
+		for i := range sep {
+			sep[i] = "---"
+		}
+		if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(sep, " | ")); err != nil {
+			return err
+		}
+		for _, row := range t.Rows {
+			cells := escapeCells(row)
+			// pad short rows so the table stays rectangular
+			for len(cells) < len(t.Header) {
+				cells = append(cells, "")
+			}
+			if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(cells, " | ")); err != nil {
+				return err
+			}
+		}
+		if t.Notes != "" {
+			if _, err := fmt.Fprintf(w, "\n*%s*\n", t.Notes); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func escapeCells(cells []string) []string {
+	out := make([]string, len(cells))
+	for i, c := range cells {
+		out[i] = strings.ReplaceAll(c, "|", "\\|")
+	}
+	return out
+}

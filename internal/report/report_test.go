@@ -1,0 +1,108 @@
+package report
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+
+	"diffkv/internal/experiments"
+)
+
+func demoTables() []*experiments.Table {
+	t1 := &experiments.Table{
+		Title:  "demo one",
+		Header: []string{"a", "b"},
+		Notes:  "a note",
+	}
+	t1.AddRow("1", "x|y") // pipe needs escaping in markdown
+	t2 := &experiments.Table{Title: "demo two", Header: []string{"c"}}
+	t2.AddRow("2")
+	return []*experiments.Table{t1, t2}
+}
+
+func TestParseFormat(t *testing.T) {
+	cases := map[string]Format{
+		"":         FormatText,
+		"text":     FormatText,
+		"csv":      FormatCSV,
+		"markdown": FormatMarkdown,
+		"md":       FormatMarkdown,
+	}
+	for in, want := range cases {
+		got, err := ParseFormat(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseFormat(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseFormat("xml"); err == nil {
+		t.Fatal("expected error for unknown format")
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, demoTables(), FormatText); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "== demo one ==") {
+		t.Fatal("text format missing title")
+	}
+}
+
+func TestWriteCSVParsesBack(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, demoTables(), FormatCSV); err != nil {
+		t.Fatal(err)
+	}
+	// skip comment lines, parse the rest
+	var rows [][]string
+	for _, block := range strings.Split(buf.String(), "\n\n") {
+		r := csv.NewReader(strings.NewReader(block))
+		r.FieldsPerRecord = -1
+		recs, err := r.ReadAll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows = append(rows, recs...)
+	}
+	// 2 comment rows + 2 headers + 2 data rows
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d: %v", len(rows), rows)
+	}
+	if rows[2][1] != "x|y" {
+		t.Fatalf("CSV cell mangled: %q", rows[2][1])
+	}
+}
+
+func TestWriteMarkdown(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, demoTables(), FormatMarkdown); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if !strings.Contains(s, "### demo one") {
+		t.Fatal("missing heading")
+	}
+	if !strings.Contains(s, "| a | b |") || !strings.Contains(s, "| --- | --- |") {
+		t.Fatal("missing table structure")
+	}
+	if !strings.Contains(s, `x\|y`) {
+		t.Fatal("pipe not escaped")
+	}
+	if !strings.Contains(s, "*a note*") {
+		t.Fatal("missing note")
+	}
+}
+
+func TestMarkdownPadsShortRows(t *testing.T) {
+	tbl := &experiments.Table{Title: "pad", Header: []string{"a", "b", "c"}}
+	tbl.Rows = append(tbl.Rows, []string{"only-one"})
+	var buf bytes.Buffer
+	if err := Write(&buf, []*experiments.Table{tbl}, FormatMarkdown); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "| only-one |  |  |") {
+		t.Fatalf("short row not padded:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,571 @@
+// Package serving implements the DiffKV serving engine of paper §6.1 as a
+// discrete-event simulator: a continuous-batching scheduler admits as many
+// requests as KV memory allows, each inference step's latency is composed
+// from the gpusim cost model (scheduler, memory management, KV compressor,
+// model execution — the Fig. 14 breakdown), and DiffKV runs its real
+// counts-mode page manager so compaction work is actually performed, not
+// assumed.
+package serving
+
+import (
+	"fmt"
+	"sort"
+
+	"diffkv/internal/baselines"
+	"diffkv/internal/gpusim"
+	"diffkv/internal/kvcache"
+	"diffkv/internal/mathx"
+	"diffkv/internal/synth"
+	"diffkv/internal/trace"
+	"diffkv/internal/workload"
+)
+
+// Config parameterizes one serving run.
+type Config struct {
+	Model   *synth.ModelConfig
+	Cluster *gpusim.Cluster
+	// Traits selects the compression method's serving behaviour.
+	Traits baselines.ServingTraits
+	// UseManager runs the real counts-mode kvcache.Manager (DiffKV);
+	// otherwise capacity is tracked analytically (baselines).
+	UseManager bool
+	// OnCPUMemMgr switches the DiffKV manager's timing to the on-CPU
+	// multithreaded comparator (Fig. 13).
+	OnCPUMemMgr bool
+	// HiFrac / LoFrac are the mean per-head tier fractions for the
+	// workload (measured by the core engine); per-head values jitter
+	// around them. Only used with UseManager.
+	HiFrac, LoFrac float64
+	// PageBytes for the manager (default 65536 at serving scale).
+	PageBytes int
+	// MaxGenLen truncates generations (the paper's per-model generation
+	// limits: 16K for QwQ-32B, 8K for Qwen2.5-32B, 4K otherwise).
+	MaxGenLen int
+	// MemoryReserve is the fraction of post-weights device memory held
+	// back for activations (default 0.1).
+	MemoryReserve float64
+	// Tracer receives admission/preemption/completion/step events when
+	// non-nil (see the trace package).
+	Tracer trace.Tracer
+	Seed   uint64
+}
+
+func (c *Config) validate() error {
+	if c.Model == nil || c.Cluster == nil {
+		return fmt.Errorf("serving: Model and Cluster are required")
+	}
+	if c.Traits.Name == "" {
+		return fmt.Errorf("serving: Traits are required")
+	}
+	if c.PageBytes <= 0 {
+		c.PageBytes = 65536
+	}
+	if c.MaxGenLen <= 0 {
+		c.MaxGenLen = 4096
+	}
+	if c.MemoryReserve <= 0 {
+		c.MemoryReserve = 0.1
+	}
+	if c.HiFrac <= 0 {
+		c.HiFrac = 0.25
+	}
+	if c.LoFrac < 0 {
+		c.LoFrac = 0.25
+	}
+	return nil
+}
+
+// StepBreakdown accumulates per-component time (Fig. 14).
+type StepBreakdown struct {
+	Scheduler  gpusim.Micros
+	MemMgmt    gpusim.Micros
+	Compressor gpusim.Micros
+	ModelExec  gpusim.Micros
+}
+
+// Total returns the summed step time.
+func (s StepBreakdown) Total() gpusim.Micros {
+	return s.Scheduler + s.MemMgmt + s.Compressor + s.ModelExec
+}
+
+// Result summarizes one serving run.
+type Result struct {
+	// Throughput is generated tokens per simulated second.
+	Throughput float64
+	// AvgBatch is the time-weighted mean number of running requests.
+	AvgBatch float64
+	// AvgPerTokenLatency is mean (completion-arrival)/genLen in seconds
+	// per token (queueing included) — the Fig. 16 metric.
+	AvgPerTokenLatency float64
+	// Completed requests.
+	Completed int
+	// ElapsedSeconds of simulated time.
+	ElapsedSeconds float64
+	// Prompt / Gen accumulate the per-phase component breakdowns.
+	Prompt, Gen StepBreakdown
+	// PromptSteps / GenSteps count executed steps per phase.
+	PromptSteps, GenSteps int
+}
+
+type seqState struct {
+	req        workload.Request
+	promptDone bool
+	generated  int
+	hiF, loF   []float64 // per-head tier fractions (manager mode)
+	winFill    int
+}
+
+// Engine is the serving simulator.
+type Engine struct {
+	cfg     Config
+	dev     *gpusim.Device
+	mgr     *kvcache.Manager
+	headsN  int
+	rng     *mathx.RNG
+	kvToken float64 // resident KV bytes per cached token (traits mode)
+	capTok  int     // token capacity (traits mode)
+}
+
+// NewEngine builds a serving engine.
+func NewEngine(cfg Config) (*Engine, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	e := &Engine{cfg: cfg, dev: cfg.Cluster.Device, rng: mathx.NewRNG(cfg.Seed + 99)}
+	e.headsN = cfg.Model.Layers * cfg.Model.KVHeads
+
+	weights := cfg.Model.ParamsB * 2e9
+	budget := float64(cfg.Cluster.TotalMemory()) - weights
+	if budget <= 0 {
+		return nil, fmt.Errorf("serving: %s does not fit on %d GPUs", cfg.Model.Name, cfg.Cluster.GPUs)
+	}
+	budget *= 1 - cfg.MemoryReserve
+
+	if cfg.UseManager {
+		numPages := int(budget) / cfg.PageBytes
+		if numPages < 16 {
+			return nil, fmt.Errorf("serving: KV budget too small (%d pages)", numPages)
+		}
+		mgr, err := kvcache.NewManager(kvcache.Config{
+			Dim:       cfg.Model.HeadDim,
+			PageBytes: cfg.PageBytes,
+			NumPages:  numPages,
+			MaxSeqLen: cfg.Model.MaxSeqLen,
+		})
+		if err != nil {
+			return nil, err
+		}
+		e.mgr = mgr
+	} else {
+		e.kvToken = float64(cfg.Model.KVBytesPerTokenFP16()) * cfg.Traits.ResidentMemFrac
+		e.capTok = int(budget / e.kvToken)
+	}
+	return e, nil
+}
+
+// TokenCapacity reports how many cached tokens fit (traits mode) or an
+// estimate from pages (manager mode).
+func (e *Engine) TokenCapacity() int {
+	if e.mgr != nil {
+		// rough: all pages at the blended tier mix
+		perTok := e.blendedTokenBytes()
+		return int(float64(e.mgr.FreePages()*e.cfg.PageBytes) / (perTok * float64(e.headsN)))
+	}
+	return e.capTok
+}
+
+func (e *Engine) blendedTokenBytes() float64 {
+	cfg := e.mgr.Config()
+	dim := cfg.Dim
+	h, l := e.cfg.HiFrac, e.cfg.LoFrac
+	return h*float64(cfg.HiPrec.TokenBytes(dim)) + l*float64(cfg.LoPrec.TokenBytes(dim))
+}
+
+// emit sends a trace event when a tracer is configured.
+func (e *Engine) emit(ev trace.Event) {
+	if e.cfg.Tracer != nil {
+		e.cfg.Tracer.Emit(ev)
+	}
+}
+
+// Run processes the request list to completion (or admission starvation)
+// and returns aggregate metrics.
+func (e *Engine) Run(reqs []workload.Request) (Result, error) {
+	pending := append([]workload.Request(nil), reqs...)
+	sort.Slice(pending, func(a, b int) bool { return pending[a].ArrivalUs < pending[b].ArrivalUs })
+
+	var clock gpusim.Micros
+	var running []*seqState
+	res := Result{}
+	var genTokens int64
+	var batchTimeProduct float64
+	var latencySum float64
+	// After a preemption the capacity heuristic has proven optimistic:
+	// hold admissions until a completion frees real pages.
+	admitBlocked := false
+
+	admit := func() error {
+		for len(pending) > 0 && float64(clock) >= pending[0].ArrivalUs {
+			r := pending[0]
+			// force-admit onto an empty engine so progress is guaranteed
+			if admitBlocked && len(running) > 0 {
+				break
+			}
+			if len(running) > 0 && !e.hasCapacityFor(running, r) {
+				break
+			}
+			st := &seqState{req: r}
+			if st.req.GenLen > e.cfg.MaxGenLen {
+				st.req.GenLen = e.cfg.MaxGenLen
+			}
+			if e.mgr != nil {
+				if err := e.registerSeq(st); err != nil {
+					return err
+				}
+			}
+			running = append(running, st)
+			pending = pending[1:]
+			e.emit(trace.Event{Kind: trace.KindAdmit, TimeUs: float64(clock), Seq: st.req.ID})
+		}
+		return nil
+	}
+
+	maxSteps := 20_000_000
+	for step := 0; step < maxSteps; step++ {
+		if len(running) == 0 {
+			if len(pending) == 0 {
+				break
+			}
+			// idle until next arrival
+			if float64(clock) < pending[0].ArrivalUs {
+				clock = gpusim.Micros(pending[0].ArrivalUs)
+			}
+		}
+		if err := admit(); err != nil {
+			return res, err
+		}
+		if len(running) == 0 {
+			continue
+		}
+
+		// split phase: prompts first (vLLM-style prioritized prompt steps)
+		var promptSeqs, genSeqs []*seqState
+		for _, st := range running {
+			if !st.promptDone {
+				promptSeqs = append(promptSeqs, st)
+			} else {
+				genSeqs = append(genSeqs, st)
+			}
+		}
+
+		var bd StepBreakdown
+		var preempted []*seqState
+		var err error
+		if len(promptSeqs) > 0 {
+			bd, preempted, err = e.promptStep(promptSeqs)
+			res.Prompt.Scheduler += bd.Scheduler
+			res.Prompt.MemMgmt += bd.MemMgmt
+			res.Prompt.Compressor += bd.Compressor
+			res.Prompt.ModelExec += bd.ModelExec
+			res.PromptSteps++
+		} else {
+			bd, preempted, err = e.genStep(genSeqs)
+			res.Gen.Scheduler += bd.Scheduler
+			res.Gen.MemMgmt += bd.MemMgmt
+			res.Gen.Compressor += bd.Compressor
+			res.Gen.ModelExec += bd.ModelExec
+			res.GenSteps++
+			genTokens += int64(len(genSeqs) - len(preempted))
+		}
+		if err != nil {
+			return res, err
+		}
+		if len(preempted) > 0 {
+			// preempted sequences restart from scratch: back to pending
+			drop := make(map[*seqState]bool, len(preempted))
+			var requeued []workload.Request
+			for _, st := range preempted {
+				drop[st] = true
+				requeued = append(requeued, st.req)
+				e.emit(trace.Event{Kind: trace.KindPreempt, TimeUs: float64(clock), Seq: st.req.ID})
+			}
+			var kept []*seqState
+			for _, st := range running {
+				if !drop[st] {
+					kept = append(kept, st)
+				}
+			}
+			running = kept
+			pending = append(requeued, pending...)
+			admitBlocked = true
+		}
+		stepTime := bd.Total()
+		clock += stepTime
+		batchTimeProduct += float64(len(running)) * float64(stepTime)
+		stepKind := trace.KindGenStep
+		if len(promptSeqs) > 0 {
+			stepKind = trace.KindPromptStep
+		}
+		e.emit(trace.Event{Kind: stepKind, TimeUs: float64(clock),
+			Batch: len(running), DurUs: float64(stepTime)})
+
+		// completions
+		var still []*seqState
+		for _, st := range running {
+			if st.promptDone && st.generated >= st.req.GenLen {
+				latencySum += (float64(clock) - st.req.ArrivalUs) / 1e6 / float64(st.req.GenLen)
+				res.Completed++
+				admitBlocked = false
+				e.emit(trace.Event{Kind: trace.KindComplete, TimeUs: float64(clock), Seq: st.req.ID})
+				if e.mgr != nil {
+					if err := e.mgr.ReleaseSequence(st.req.ID); err != nil {
+						return res, err
+					}
+				}
+				continue
+			}
+			still = append(still, st)
+		}
+		running = still
+	}
+
+	res.ElapsedSeconds = clock.Seconds()
+	if res.ElapsedSeconds > 0 {
+		res.Throughput = float64(genTokens) / res.ElapsedSeconds
+		res.AvgBatch = batchTimeProduct / float64(clock)
+	}
+	if res.Completed > 0 {
+		res.AvgPerTokenLatency = latencySum / float64(res.Completed)
+	}
+	return res, nil
+}
+
+// hasCapacityFor conservatively checks that admitting r keeps usage under
+// the high watermark (85%), accounting for the tokens running sequences
+// will still generate.
+func (e *Engine) hasCapacityFor(running []*seqState, r workload.Request) bool {
+	needed := float64(r.PromptLen + r.GenLen/2)
+	var current float64
+	for _, st := range running {
+		current += float64(st.req.PromptLen + st.generated + (st.req.GenLen-st.generated)/2)
+	}
+	var capTok float64
+	if e.mgr != nil {
+		// manager mode: translate pages to blended-token capacity
+		capTok = float64(e.mgr.FreePages()+e.mgr.UsedPages()) * float64(e.cfg.PageBytes) /
+			(e.blendedTokenBytes() * float64(e.headsN))
+	} else {
+		capTok = float64(e.capTok)
+	}
+	return (current + needed) <= 0.85*capTok
+}
+
+// registerSeq sets up per-head tier fractions and registers the sequence
+// with the manager.
+func (e *Engine) registerSeq(st *seqState) error {
+	if _, err := e.mgr.AddSequence(st.req.ID, e.headsN); err != nil {
+		return err
+	}
+	st.hiF = make([]float64, e.headsN)
+	st.loF = make([]float64, e.headsN)
+	for h := range st.hiF {
+		st.hiF[h] = mathx.Clamp(e.cfg.HiFrac*e.rng.LogNorm(0, 0.3), 0.02, 0.9)
+		st.loF[h] = mathx.Clamp(e.cfg.LoFrac*e.rng.LogNorm(0, 0.3), 0, 0.9-st.hiF[h])
+	}
+	return nil
+}
+
+// promptStep runs one batched prompt step for the given sequences. It
+// returns any sequences preempted for lack of pages (vLLM-style recompute
+// preemption): they must be re-admitted later.
+func (e *Engine) promptStep(seqs []*seqState) (StepBreakdown, []*seqState, error) {
+	cfg := e.cfg
+	dev := e.dev
+	var bd StepBreakdown
+	batch := len(seqs)
+	bd.Scheduler = dev.SchedulerOverhead(batch)
+
+	var tokens int
+	for _, st := range seqs {
+		tokens += st.req.PromptLen
+	}
+
+	// model execution: tensor-parallel linear layers + prompt attention
+	weightsPerGPU := cfg.Model.ParamsB * 2e9 / float64(cfg.Cluster.GPUs)
+	exec := dev.LinearLayers(weightsPerGPU, tokens)
+	if cfg.Cluster.GPUs > 1 {
+		exec += gpusim.Micros(float64(cfg.Model.Layers) * 15) // allreduce per layer
+	}
+	bd.ModelExec = exec
+
+	// compressor: quantize all prompt tokens' K/V
+	kvBytes := float64(tokens) * float64(cfg.Model.KVBytesPerTokenFP16()) / float64(cfg.Cluster.GPUs)
+	bd.Compressor = dev.CompressorKernel(kvBytes * cfg.Traits.AttnBytesFrac)
+
+	// memory management
+	var stats kvcache.CompactStats
+	var preempted []*seqState
+	if e.mgr != nil {
+		for _, st := range seqs {
+			demands := make([]kvcache.HeadDemand, e.headsN)
+			for h := range demands {
+				demands[h] = kvcache.HeadDemand{
+					HiTokens: int(st.hiF[h] * float64(st.req.PromptLen)),
+					LoTokens: int(st.loF[h] * float64(st.req.PromptLen)),
+				}
+			}
+			s, err := e.mgr.PromptCompact(st.req.ID, st.req.PromptLen, demands)
+			if err != nil {
+				// out of pages: recompute-preempt this sequence
+				if rerr := e.mgr.ReleaseSequence(st.req.ID); rerr != nil {
+					return bd, nil, rerr
+				}
+				preempted = append(preempted, st)
+				continue
+			}
+			stats.Add(s)
+		}
+		bd.MemMgmt = e.memMgmtTime(stats, len(seqs))
+	} else {
+		bd.MemMgmt = gpusim.Micros(20 + 2*float64(batch)) // paged FP16 allocator
+		bd.Compressor = 0
+		if cfg.Traits.AttnBytesFrac < 1 && cfg.Traits.Name != "Quest" &&
+			cfg.Traits.Name != "SnapKV" {
+			// quantizing baselines still run a compressor
+			bd.Compressor = dev.CompressorKernel(kvBytes * cfg.Traits.AttnBytesFrac)
+		}
+	}
+
+	// HF-based frameworks pay per-step host overhead
+	if cfg.Traits.FrameworkOverhead > 1 {
+		bd.Scheduler += gpusim.Micros((cfg.Traits.FrameworkOverhead - 1) * 3000)
+	}
+
+	isPreempted := func(st *seqState) bool {
+		for _, p := range preempted {
+			if p == st {
+				return true
+			}
+		}
+		return false
+	}
+	for _, st := range seqs {
+		if !isPreempted(st) {
+			st.promptDone = true
+		}
+	}
+	return bd, preempted, nil
+}
+
+// genStep runs one batched generation step, returning any sequences
+// preempted for lack of pages.
+func (e *Engine) genStep(seqs []*seqState) (StepBreakdown, []*seqState, error) {
+	cfg := e.cfg
+	dev := e.dev
+	var bd StepBreakdown
+	batch := len(seqs)
+	bd.Scheduler = dev.SchedulerOverhead(batch)
+
+	weightsPerGPU := cfg.Model.ParamsB * 2e9 / float64(cfg.Cluster.GPUs)
+	exec := dev.LinearLayers(weightsPerGPU, batch)
+	if cfg.Cluster.GPUs > 1 {
+		exec += gpusim.Micros(float64(cfg.Model.Layers) * 15)
+	}
+
+	// attention over cached tokens
+	var cachedTokens float64
+	longest := 0
+	for _, st := range seqs {
+		n := st.req.PromptLen + st.generated
+		cachedTokens += float64(n)
+		if n > longest {
+			longest = n
+		}
+	}
+	attnBytes := cachedTokens * float64(cfg.Model.KVBytesPerTokenFP16()) *
+		cfg.Traits.AttnBytesFrac / float64(cfg.Cluster.GPUs)
+	seqSplits := 1
+	if longest > 8192 {
+		seqSplits = longest / 8192
+	}
+	attn := dev.AttentionKernel(attnBytes, cfg.Traits.AttnBytesFrac < 1, seqSplits)
+	attn += gpusim.Micros(float64(attn) * cfg.Traits.EstimateCost)
+	if cfg.Traits.FrameworkOverhead > 1 {
+		// HF-based runtimes lack kernels that fuse dequantization with
+		// attention (paper §7.3): the attention pass reads, dequantizes
+		// and re-reads instead of streaming once
+		attn = gpusim.Micros(float64(attn) * (1 + 0.35*(cfg.Traits.FrameworkOverhead-1)))
+	}
+	bd.ModelExec = exec + attn
+
+	// compressor: this step's new K/V for every sequence
+	newKV := float64(batch) * float64(cfg.Model.KVBytesPerTokenFP16()) / float64(cfg.Cluster.GPUs)
+	bd.Compressor = dev.CompressorKernel(newKV)
+
+	// memory management
+	var preempted []*seqState
+	if e.mgr != nil {
+		active := append([]*seqState(nil), seqs...)
+		for {
+			ids := make([]int, len(active))
+			demands := make([][]kvcache.GenDemand, len(active))
+			for i, st := range active {
+				ids[i] = st.req.ID
+				d := make([]kvcache.GenDemand, e.headsN)
+				if st.winFill >= 64 {
+					for h := range d {
+						// steady state: candidate lands by tier
+						// probability; victims keep counts roughly stable
+						u := e.rng.Float64()
+						switch {
+						case u < st.hiF[h]:
+							d[h] = kvcache.GenDemand{HiDelta: 1}
+						case u < st.hiF[h]+st.loF[h]:
+							d[h] = kvcache.GenDemand{LoDelta: 1}
+						}
+					}
+				}
+				demands[i] = d
+			}
+			s, err := e.mgr.GenCompact(ids, demands)
+			if err == nil {
+				for _, st := range active {
+					if st.winFill < 64 {
+						st.winFill++
+					}
+				}
+				bd.MemMgmt = e.memMgmtTime(s, len(active))
+				seqs = active
+				break
+			}
+			// out of pages: recompute-preempt the youngest sequence
+			if len(active) <= 1 {
+				return bd, nil, err
+			}
+			last := active[len(active)-1]
+			active = active[:len(active)-1]
+			if rerr := e.mgr.ReleaseSequence(last.req.ID); rerr != nil {
+				return bd, nil, rerr
+			}
+			preempted = append(preempted, last)
+		}
+	} else {
+		bd.MemMgmt = gpusim.Micros(10 + float64(batch))
+	}
+
+	if cfg.Traits.FrameworkOverhead > 1 {
+		bd.Scheduler += gpusim.Micros((cfg.Traits.FrameworkOverhead - 1) * 3000)
+	}
+
+	for _, st := range seqs {
+		st.generated++
+	}
+	return bd, preempted, nil
+}
+
+func (e *Engine) memMgmtTime(stats kvcache.CompactStats, batch int) gpusim.Micros {
+	if e.cfg.OnCPUMemMgr {
+		return e.dev.CPUMemoryManagement(stats.TokenOps, stats.Regions, batch)
+	}
+	return e.dev.GPUCompaction(stats.TokenOps, stats.Regions)
+}

@@ -1,0 +1,169 @@
+package synth
+
+import (
+	"math"
+
+	"diffkv/internal/mathx"
+)
+
+// SparsityProfile is the concrete attention-sparsity configuration of one
+// (layer, KV-head, request) triple: what fraction of tokens are "heavy"
+// (genuinely attended to) and the log-space locations of heavy vs tail
+// attention logits.
+//
+// The three levels of differentiation the paper exploits are encoded here:
+// per-layer base density, per-head multipliers within a layer, and
+// per-request jitter on top (§3.3).
+type SparsityProfile struct {
+	HeavyFrac  float64 // fraction of tokens carrying most attention mass
+	HeavyMu    float64 // mean logit of heavy tokens
+	HeavySigma float64
+	TailMu     float64 // mean logit of tail tokens
+	TailSigma  float64
+}
+
+// layerBaseDensity returns the deterministic per-layer base heavy fraction.
+// Layers differ widely (paper Fig. 4): some layers are diffuse (layer 0
+// attends broadly), others highly concentrated.
+func layerBaseDensity(model *ModelConfig, layer int) float64 {
+	// Deterministic per-(model, layer) draw in [0.06, 0.55], with layer 0
+	// biased dense: early layers aggregate broad context.
+	h := mathx.NewRNG(uint64(len(model.Name))*0x9e37 + uint64(layer)*0x85eb + modelSeed(model))
+	base := 0.06 + 0.49*h.Float64()
+	if layer == 0 {
+		base = math.Max(base, 0.45)
+	}
+	return base
+}
+
+// headFactor returns the deterministic per-(layer, head) multiplier in
+// [0.3, 1.8] — heads within one layer differ strongly (paper Fig. 5).
+func headFactor(model *ModelConfig, layer, head int) float64 {
+	h := mathx.NewRNG(uint64(layer)*0xc2b2 + uint64(head)*0x27d4 + modelSeed(model) + 17)
+	return 0.3 + 1.5*h.Float64()
+}
+
+func modelSeed(model *ModelConfig) uint64 {
+	var s uint64 = 1469598103934665603
+	for _, c := range model.Name {
+		s = (s ^ uint64(c)) * 1099511628211
+	}
+	return s
+}
+
+// Profile computes the sparsity profile of one (layer, head) pair for a
+// request. densityScale captures workload information density (≈1 for
+// reasoning-dense workloads like MATH/HumanEval+, >1 for diffuse 5-shot
+// knowledge workloads like MMLU — more diffuse prompts mean a *smaller*
+// fraction of heavy tokens, so the scale divides). reqRNG supplies the
+// per-request jitter.
+func Profile(model *ModelConfig, layer, head int, densityScale float64, reqRNG *mathx.RNG) SparsityProfile {
+	base := layerBaseDensity(model, layer) * headFactor(model, layer, head)
+	// Per-request lognormal jitter: the same head needs very different
+	// budgets on different requests (Fig. 5 error bars).
+	jitter := reqRNG.LogNorm(0, 0.35)
+	frac := mathx.Clamp(base*jitter/densityScale, 0.01, 0.9)
+	return SparsityProfile{
+		HeavyFrac:  frac,
+		HeavyMu:    3.0,
+		HeavySigma: 1.0,
+		TailMu:     -5.0,
+		TailSigma:  2.0,
+	}
+}
+
+// heavyRunLen is the mean length of a run of consecutive heavy tokens:
+// important content in real text is contiguous (phrases, equations, code
+// spans), so heavy tokens cluster rather than scatter i.i.d. Page-granular
+// methods (Quest) depend on this locality.
+const heavyRunLen = 8.0
+
+// Logits draws n attention logits from the profile: a HeavyFrac fraction
+// around HeavyMu and the rest around TailMu, with heavy tokens clustered
+// into runs by a two-state Markov chain whose stationary distribution
+// preserves HeavyFrac. Softmaxing these produces the heavy-tailed
+// attention-score distributions of Figs. 2-3. The recent end of a sequence
+// is not special-cased here; recency is a property of the serving policy,
+// not the substrate.
+func (p SparsityProfile) Logits(n int, rng *mathx.RNG) []float32 {
+	out := make([]float32, n)
+	f := p.HeavyFrac
+	// transition probabilities: stay-heavy keeps mean run length
+	// heavyRunLen; enter-heavy is solved from stationarity π_h = f.
+	stayHeavy := 1 - 1/heavyRunLen
+	enterHeavy := f / (heavyRunLen * (1 - f))
+	if enterHeavy > 1 {
+		enterHeavy = 1
+	}
+	heavy := rng.Float64() < f
+	for i := range out {
+		if heavy {
+			out[i] = float32(p.HeavyMu + p.HeavySigma*rng.Norm())
+			heavy = rng.Float64() < stayHeavy
+		} else {
+			out[i] = float32(p.TailMu + p.TailSigma*rng.Norm())
+			heavy = rng.Float64() < enterHeavy
+		}
+	}
+	return out
+}
+
+// CriticalTokens returns the minimum number of the n scores needed to
+// retain `target` (e.g. 0.95) of the total attention mass — the metric of
+// paper Figs. 4-5.
+func CriticalTokens(scores []float32, target float64) int {
+	if len(scores) == 0 {
+		return 0
+	}
+	cp := append([]float32(nil), scores...)
+	// sort descending (insertion into a sorted copy is O(n^2); use stdlib)
+	sortDescF32(cp)
+	var total float64
+	for _, v := range cp {
+		total += float64(v)
+	}
+	if total <= 0 {
+		return len(cp)
+	}
+	var acc float64
+	for i, v := range cp {
+		acc += float64(v)
+		if acc >= target*total {
+			return i + 1
+		}
+	}
+	return len(cp)
+}
+
+func sortDescF32(x []float32) {
+	// simple bottom-up heapsort to avoid an extra float64 conversion pass;
+	// n is at most a few thousand in all callers.
+	n := len(x)
+	for i := n/2 - 1; i >= 0; i-- {
+		siftMin(x, i, n)
+	}
+	for end := n - 1; end > 0; end-- {
+		x[0], x[end] = x[end], x[0]
+		siftMin(x, 0, end)
+	}
+}
+
+// siftMin maintains a min-heap so the heapsort above yields descending
+// order.
+func siftMin(x []float32, i, n int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && x[l] < x[m] {
+			m = l
+		}
+		if r < n && x[r] < x[m] {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		x[i], x[m] = x[m], x[i]
+		i = m
+	}
+}

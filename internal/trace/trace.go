@@ -1,0 +1,141 @@
+// Package trace provides structured event tracing for the serving engine:
+// admissions, preemptions, completions and per-step timings are emitted as
+// typed events into a bounded collector, which can summarize them or write
+// JSON lines for offline analysis. This is the observability surface an
+// operator uses to understand scheduler behaviour (queueing onset,
+// preemption storms, batch dynamics) without instrumenting the engine.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Kind classifies an event.
+type Kind string
+
+// Event kinds emitted by the serving engine.
+const (
+	KindAdmit      Kind = "admit"
+	KindPreempt    Kind = "preempt"
+	KindComplete   Kind = "complete"
+	KindPromptStep Kind = "prompt_step"
+	KindGenStep    Kind = "gen_step"
+)
+
+// Event is one traced occurrence.
+type Event struct {
+	Kind Kind `json:"kind"`
+	// TimeUs is the simulated clock at emission (microseconds).
+	TimeUs float64 `json:"time_us"`
+	// Seq is the request ID for per-request events (0 for step events).
+	Seq int `json:"seq,omitempty"`
+	// Batch is the running batch size for step events.
+	Batch int `json:"batch,omitempty"`
+	// DurUs is the step duration for step events (microseconds).
+	DurUs float64 `json:"dur_us,omitempty"`
+}
+
+// Tracer receives events. Implementations must be safe for concurrent use
+// if shared across goroutines (the serving engine emits from one
+// goroutine).
+type Tracer interface {
+	Emit(Event)
+}
+
+// Collector is a bounded in-memory tracer: once capacity is reached the
+// oldest events are dropped (ring semantics) and the drop count recorded.
+type Collector struct {
+	mu      sync.Mutex
+	events  []Event
+	start   int
+	dropped int
+	cap     int
+}
+
+// NewCollector creates a collector holding at most capacity events
+// (default 65536 when capacity <= 0).
+func NewCollector(capacity int) *Collector {
+	if capacity <= 0 {
+		capacity = 65536
+	}
+	return &Collector{cap: capacity}
+}
+
+// Emit implements Tracer.
+func (c *Collector) Emit(e Event) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.events) < c.cap {
+		c.events = append(c.events, e)
+		return
+	}
+	// overwrite oldest
+	c.events[c.start] = e
+	c.start = (c.start + 1) % c.cap
+	c.dropped++
+}
+
+// Events returns the retained events in emission order.
+func (c *Collector) Events() []Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Event, 0, len(c.events))
+	out = append(out, c.events[c.start:]...)
+	out = append(out, c.events[:c.start]...)
+	return out
+}
+
+// Dropped returns how many events were evicted by the ring.
+func (c *Collector) Dropped() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dropped
+}
+
+// Summary aggregates the retained events.
+type Summary struct {
+	Counts map[Kind]int `json:"counts"`
+	// StepTimeUs sums step durations per kind.
+	StepTimeUs map[Kind]float64 `json:"step_time_us"`
+	// MaxBatch is the largest batch observed in step events.
+	MaxBatch int `json:"max_batch"`
+	// Preemptions per sequence ID (requests preempted more than once are
+	// scheduler red flags).
+	PreemptedSeqs map[int]int `json:"preempted_seqs,omitempty"`
+}
+
+// Summarize builds a Summary of the retained events.
+func (c *Collector) Summarize() Summary {
+	s := Summary{
+		Counts:        map[Kind]int{},
+		StepTimeUs:    map[Kind]float64{},
+		PreemptedSeqs: map[int]int{},
+	}
+	for _, e := range c.Events() {
+		s.Counts[e.Kind]++
+		switch e.Kind {
+		case KindPromptStep, KindGenStep:
+			s.StepTimeUs[e.Kind] += e.DurUs
+			if e.Batch > s.MaxBatch {
+				s.MaxBatch = e.Batch
+			}
+		case KindPreempt:
+			s.PreemptedSeqs[e.Seq]++
+		}
+	}
+	return s
+}
+
+// WriteJSONL writes retained events as JSON lines.
+func (c *Collector) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, e := range c.Events() {
+		if err := enc.Encode(e); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+	}
+	return nil
+}

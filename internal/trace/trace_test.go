@@ -1,0 +1,113 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestCollectorBasics(t *testing.T) {
+	c := NewCollector(10)
+	c.Emit(Event{Kind: KindAdmit, TimeUs: 1, Seq: 5})
+	c.Emit(Event{Kind: KindGenStep, TimeUs: 2, Batch: 3, DurUs: 100})
+	evs := c.Events()
+	if len(evs) != 2 {
+		t.Fatalf("events = %d", len(evs))
+	}
+	if evs[0].Kind != KindAdmit || evs[1].Batch != 3 {
+		t.Fatalf("events wrong: %+v", evs)
+	}
+	if c.Dropped() != 0 {
+		t.Fatal("nothing should be dropped")
+	}
+}
+
+func TestCollectorRing(t *testing.T) {
+	c := NewCollector(4)
+	for i := 0; i < 10; i++ {
+		c.Emit(Event{Kind: KindGenStep, TimeUs: float64(i)})
+	}
+	evs := c.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d", len(evs))
+	}
+	// oldest retained is event 6
+	if evs[0].TimeUs != 6 || evs[3].TimeUs != 9 {
+		t.Fatalf("ring order wrong: %+v", evs)
+	}
+	if c.Dropped() != 6 {
+		t.Fatalf("dropped = %d", c.Dropped())
+	}
+}
+
+func TestCollectorDefaultCapacity(t *testing.T) {
+	c := NewCollector(0)
+	if c.cap != 65536 {
+		t.Fatalf("default cap = %d", c.cap)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	c := NewCollector(100)
+	c.Emit(Event{Kind: KindAdmit, Seq: 1})
+	c.Emit(Event{Kind: KindPromptStep, Batch: 4, DurUs: 500})
+	c.Emit(Event{Kind: KindGenStep, Batch: 8, DurUs: 100})
+	c.Emit(Event{Kind: KindGenStep, Batch: 6, DurUs: 150})
+	c.Emit(Event{Kind: KindPreempt, Seq: 2})
+	c.Emit(Event{Kind: KindPreempt, Seq: 2})
+	c.Emit(Event{Kind: KindComplete, Seq: 1})
+	s := c.Summarize()
+	if s.Counts[KindGenStep] != 2 || s.Counts[KindPreempt] != 2 {
+		t.Fatalf("counts wrong: %+v", s.Counts)
+	}
+	if s.StepTimeUs[KindGenStep] != 250 {
+		t.Fatalf("gen step time = %v", s.StepTimeUs[KindGenStep])
+	}
+	if s.MaxBatch != 8 {
+		t.Fatalf("max batch = %d", s.MaxBatch)
+	}
+	if s.PreemptedSeqs[2] != 2 {
+		t.Fatalf("preemption count = %d", s.PreemptedSeqs[2])
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	c := NewCollector(10)
+	c.Emit(Event{Kind: KindAdmit, TimeUs: 1.5, Seq: 9})
+	c.Emit(Event{Kind: KindGenStep, TimeUs: 3, Batch: 2, DurUs: 42})
+	var buf bytes.Buffer
+	if err := c.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	var e Event
+	if err := json.Unmarshal([]byte(lines[0]), &e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Kind != KindAdmit || e.Seq != 9 {
+		t.Fatalf("decoded %+v", e)
+	}
+}
+
+func TestCollectorConcurrentEmit(t *testing.T) {
+	c := NewCollector(1000)
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func() {
+			for i := 0; i < 500; i++ {
+				c.Emit(Event{Kind: KindGenStep})
+			}
+			done <- struct{}{}
+		}()
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+	if len(c.Events())+c.Dropped() != 2000 {
+		t.Fatal("events lost under concurrency")
+	}
+}

@@ -1,0 +1,230 @@
+// Package workload models the paper's evaluation workloads: one profile
+// per benchmark (prompt/generation lengths, information density, FP16
+// reference accuracies from the paper) plus the accuracy model that maps
+// measured attention-output error to task accuracy.
+//
+// Substitution note (DESIGN.md §2): we cannot run the real models on the
+// real datasets, so task accuracy is modeled as
+//
+//	accuracy = FP16_accuracy × retention(effective_error)
+//
+// where effective_error is the *measured* attention-output error of the
+// compression method on this workload's sparsity profile, amplified by a
+// chain-of-thought accumulation factor for long generations (errors
+// compound autoregressively — the paper's §7.2 explanation of why thinking
+// models are the hardest case), and retention is a calibrated logistic
+// curve. The orderings and crossovers between methods therefore come from
+// measured errors, not from the curve.
+package workload
+
+import (
+	"fmt"
+	"math"
+)
+
+// Benchmark describes one evaluation workload.
+type Benchmark struct {
+	Name string
+	// PromptLen / GenLen are typical token counts.
+	PromptLen, GenLen int
+	// DensityScale feeds synth.Profile: >1 for diffuse many-shot prompts
+	// (more prunable), <1 for dense 0-shot reasoning.
+	DensityScale float64
+	// E0 is the effective-error level at which half the accuracy is lost;
+	// P is the steepness of the retention curve.
+	E0, P float64
+	// FP16 maps model name → reference accuracy (from the paper's
+	// Tables 1-3 and LongBench Table 2).
+	FP16 map[string]float64
+	// LongContext marks LongBench-style workloads (long prompt, short
+	// generation — compression errors matter less, §7.2).
+	LongContext bool
+}
+
+// EvalCapTokens bounds the sequence length actually simulated for fidelity
+// measurement; longer nominal generations still contribute through the CoT
+// accumulation factor.
+const EvalCapTokens = 3072
+
+// EvalLen returns the simulated (prompt, gen) lengths, scaled down
+// proportionally if the nominal lengths exceed EvalCapTokens.
+func (b *Benchmark) EvalLen() (promptLen, genLen int) {
+	p, g := b.PromptLen, b.GenLen
+	total := p + g
+	if total > EvalCapTokens {
+		p = p * EvalCapTokens / total
+		if p < 64 {
+			p = 64
+		}
+		g = EvalCapTokens - p
+	}
+	if g < 64 {
+		g = 64
+	}
+	return p, g
+}
+
+// CoTFactor returns the error-accumulation multiplier for a generation of
+// genLen tokens: autoregressive generations compound compression error,
+// so long chains of thought amplify it (≈ +25% per doubling past 512
+// tokens). Long-context workloads are exempt: their text is mostly ground
+// truth in the prompt.
+func (b *Benchmark) CoTFactor() float64 {
+	if b.LongContext || b.GenLen <= 512 {
+		return 1
+	}
+	return 1 + 0.25*math.Log2(float64(b.GenLen)/512)
+}
+
+// Retention maps a measured attention-output error to the retained
+// fraction of FP16 accuracy.
+func (b *Benchmark) Retention(outputErr float64) float64 {
+	if outputErr <= 0 {
+		return 1
+	}
+	eff := outputErr * b.CoTFactor()
+	return 1 / (1 + math.Pow(eff/b.E0, b.P))
+}
+
+// Accuracy returns the modeled task accuracy of a method with the given
+// measured output error on the named model. Unknown models fall back to
+// the mean of the configured references.
+func (b *Benchmark) Accuracy(model string, outputErr float64) float64 {
+	base, ok := b.FP16[model]
+	if !ok {
+		var sum float64
+		for _, v := range b.FP16 {
+			sum += v
+		}
+		if len(b.FP16) > 0 {
+			base = sum / float64(len(b.FP16))
+		}
+	}
+	return base * b.Retention(outputErr)
+}
+
+// The benchmark suite. FP16 numbers are the paper's reference accuracies.
+var (
+	GSM8K = &Benchmark{
+		Name: "GSM8K", PromptLen: 512, GenLen: 512, DensityScale: 1.4,
+		E0: 0.95, P: 6,
+		FP16: map[string]float64{
+			"Llama3-8B": 76.3, "Qwen2.5-7B": 83.5, "Qwen2.5-32B": 90.4, "Llama3-70B": 90.5,
+		},
+	}
+	MATH = &Benchmark{
+		Name: "MATH", PromptLen: 384, GenLen: 768, DensityScale: 1.0,
+		E0: 0.85, P: 6,
+		FP16: map[string]float64{
+			"Llama3-8B": 28.1, "Qwen2.5-7B": 58.0, "Qwen2.5-32B": 63.2, "Llama3-70B": 48.7,
+			"QwQ-32B": 90.6, "R1-Distill-Qwen-14B": 94.2, "R1-Distill-Llama-8B": 88.8,
+		},
+	}
+	MMLU = &Benchmark{
+		Name: "MMLU", PromptLen: 1024, GenLen: 128, DensityScale: 2.2,
+		E0: 1.0, P: 6,
+		FP16: map[string]float64{
+			"Llama3-8B": 66.5, "Qwen2.5-7B": 75.1, "Qwen2.5-32B": 83.8, "Llama3-70B": 81.0,
+		},
+	}
+	MMLUPro = &Benchmark{
+		Name: "MMLU-Pro", PromptLen: 1024, GenLen: 256, DensityScale: 1.8,
+		E0: 0.9, P: 6,
+		FP16: map[string]float64{
+			"Llama3-8B": 41.5, "Qwen2.5-7B": 55.4, "Qwen2.5-32B": 67.8, "Llama3-70B": 60.1,
+		},
+	}
+	HumanEvalPlus = &Benchmark{
+		Name: "HumanEval+", PromptLen: 192, GenLen: 384, DensityScale: 0.65,
+		E0: 0.7, P: 6,
+		FP16: map[string]float64{
+			"Llama3-8B": 50.0, "Qwen2.5-7B": 57.5, "Qwen2.5-32B": 49.4, "Llama3-70B": 71.3,
+		},
+	}
+	MBPPPlus = &Benchmark{
+		Name: "MBPP+", PromptLen: 256, GenLen: 384, DensityScale: 0.8,
+		E0: 0.8, P: 6,
+		FP16: map[string]float64{
+			"Llama3-8B": 59.3, "Qwen2.5-7B": 64.3, "Qwen2.5-32B": 71.1, "Llama3-70B": 68.6,
+		},
+	}
+	GPQA = &Benchmark{
+		Name: "GPQA", PromptLen: 512, GenLen: 8192, DensityScale: 0.7,
+		E0: 0.75, P: 6,
+		FP16: map[string]float64{
+			"QwQ-32B": 62.1, "R1-Distill-Qwen-14B": 55.7, "R1-Distill-Llama-8B": 47.4,
+		},
+	}
+	AIME24 = &Benchmark{
+		Name: "AIME24", PromptLen: 256, GenLen: 12288, DensityScale: 0.8,
+		E0: 0.8, P: 6,
+		FP16: map[string]float64{
+			"QwQ-32B": 75.5, "R1-Distill-Qwen-14B": 67.0, "R1-Distill-Llama-8B": 51.0,
+		},
+	}
+)
+
+// MATHTrain is the calibration split (paper §7.2 "Parameter Calibration"):
+// same distribution as MATH, distinct seed space, never used for
+// evaluation.
+var MATHTrain = &Benchmark{
+	Name: "MATH-train", PromptLen: 384, GenLen: 768, DensityScale: 1.0,
+	E0: 0.85, P: 6,
+	FP16: MATH.FP16,
+}
+
+// LongBench subset (Table 2): one benchmark per LongBench category.
+var (
+	LBQasper = &Benchmark{
+		Name: "Qasper", PromptLen: 3584, GenLen: 128, DensityScale: 1.6,
+		E0: 0.85, P: 6, LongContext: true,
+		FP16: map[string]float64{"Llama3.1-8B": 40.9, "Qwen2.5-7B": 26.5},
+	}
+	LBHotpotQA = &Benchmark{
+		Name: "HotpotQA", PromptLen: 3584, GenLen: 128, DensityScale: 1.8,
+		E0: 0.9, P: 6, LongContext: true,
+		FP16: map[string]float64{"Llama3.1-8B": 61.3, "Qwen2.5-7B": 27.8},
+	}
+	LBGovReport = &Benchmark{
+		Name: "GovReport", PromptLen: 3840, GenLen: 256, DensityScale: 2.0,
+		E0: 0.9, P: 6, LongContext: true,
+		FP16: map[string]float64{"Llama3.1-8B": 34.0, "Qwen2.5-7B": 33.4},
+	}
+	LBTREC = &Benchmark{
+		Name: "TREC", PromptLen: 2560, GenLen: 64, DensityScale: 2.4,
+		E0: 1.0, P: 6, LongContext: true,
+		FP16: map[string]float64{"Llama3.1-8B": 73.0, "Qwen2.5-7B": 71.0},
+	}
+	LBPCount = &Benchmark{
+		Name: "PCount", PromptLen: 3584, GenLen: 64, DensityScale: 1.2,
+		E0: 0.7, P: 6, LongContext: true,
+		FP16: map[string]float64{"Llama3.1-8B": 6.9, "Qwen2.5-7B": 5.7},
+	}
+	LBLcc = &Benchmark{
+		Name: "Lcc", PromptLen: 2048, GenLen: 128, DensityScale: 1.0,
+		E0: 0.8, P: 6, LongContext: true,
+		FP16: map[string]float64{"Llama3.1-8B": 62.2, "Qwen2.5-7B": 61.9},
+	}
+)
+
+// Suites.
+var (
+	// CoreBenchmarks is the Table 1 suite.
+	CoreBenchmarks = []*Benchmark{GSM8K, MATH, MMLU, MMLUPro, HumanEvalPlus, MBPPPlus}
+	// ThinkingBenchmarks is the Table 3 suite.
+	ThinkingBenchmarks = []*Benchmark{MATH, GPQA, AIME24}
+	// LongBench is the Table 2 suite.
+	LongBench = []*Benchmark{LBQasper, LBHotpotQA, LBGovReport, LBTREC, LBPCount, LBLcc}
+)
+
+// ByName finds a benchmark across all suites.
+func ByName(name string) (*Benchmark, error) {
+	all := append(append(append([]*Benchmark{}, CoreBenchmarks...), ThinkingBenchmarks...), LongBench...)
+	all = append(all, MATHTrain)
+	for _, b := range all {
+		if b.Name == name {
+			return b, nil
+		}
+	}
+	return nil, fmt.Errorf("workload: unknown benchmark %q", name)
+}

@@ -1,0 +1,99 @@
+package workload
+
+import (
+	"diffkv/internal/mathx"
+)
+
+// Request is one serving request: when it arrives and how many tokens it
+// carries.
+type Request struct {
+	ID        int
+	ArrivalUs float64 // arrival time in simulated microseconds
+	PromptLen int
+	GenLen    int
+}
+
+// RequestGen samples serving requests from a benchmark profile: prompt and
+// generation lengths are log-normal around the profile's nominal lengths
+// (generation capped at MaxGenLen, the serving engine's generation limit).
+type RequestGen struct {
+	Bench     *Benchmark
+	MaxGenLen int
+	rng       *mathx.RNG
+	nextID    int
+}
+
+// NewRequestGen builds a generator with the given cap and seed.
+func NewRequestGen(b *Benchmark, maxGenLen int, seed uint64) *RequestGen {
+	if maxGenLen <= 0 {
+		maxGenLen = 4096
+	}
+	return &RequestGen{Bench: b, MaxGenLen: maxGenLen, rng: mathx.NewRNG(seed)}
+}
+
+// sampleLen draws a log-normal length around mean with ~35% dispersion.
+func (g *RequestGen) sampleLen(mean int) int {
+	v := int(float64(mean) * g.rng.LogNorm(0, 0.35))
+	if v < 16 {
+		v = 16
+	}
+	return v
+}
+
+// Next samples one request arriving at the given time.
+func (g *RequestGen) Next(arrivalUs float64) Request {
+	g.nextID++
+	gen := g.sampleLen(g.Bench.GenLen)
+	if gen > g.MaxGenLen {
+		gen = g.MaxGenLen
+	}
+	return Request{
+		ID:        g.nextID,
+		ArrivalUs: arrivalUs,
+		PromptLen: g.sampleLen(g.Bench.PromptLen),
+		GenLen:    gen,
+	}
+}
+
+// Batch samples n requests all arriving at time 0 (closed-loop throughput
+// experiments, Fig. 17).
+func (g *RequestGen) Batch(n int) []Request {
+	out := make([]Request, n)
+	for i := range out {
+		out[i] = g.Next(0)
+	}
+	return out
+}
+
+// CoTBatch samples n requests whose generations run near the generation
+// limit — the paper's Fig. 17 setting ("MATH elicits chain-of-thought
+// reasoning and typically leads to long generations reaching the
+// specified limit").
+func (g *RequestGen) CoTBatch(n int) []Request {
+	out := make([]Request, n)
+	for i := range out {
+		g.nextID++
+		out[i] = Request{
+			ID:        g.nextID,
+			PromptLen: g.sampleLen(g.Bench.PromptLen),
+			GenLen:    int(float64(g.MaxGenLen) * (0.7 + 0.3*g.rng.Float64())),
+		}
+	}
+	return out
+}
+
+// Poisson samples requests with exponential inter-arrival times at
+// ratePerSec for a horizon of seconds (open-loop dynamic workloads,
+// Fig. 16).
+func (g *RequestGen) Poisson(ratePerSec float64, seconds float64) []Request {
+	var out []Request
+	t := 0.0
+	horizon := seconds * 1e6
+	for {
+		t += g.rng.Exp(ratePerSec) * 1e6
+		if t > horizon {
+			return out
+		}
+		out = append(out, g.Next(t))
+	}
+}

@@ -1,0 +1,222 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRetentionMonotone(t *testing.T) {
+	prev := 2.0
+	for _, e := range []float64{0, 0.1, 0.3, 0.6, 1.0, 2.0, 5.0} {
+		r := GSM8K.Retention(e)
+		if r > prev {
+			t.Fatalf("retention not monotone at %v", e)
+		}
+		if r < 0 || r > 1 {
+			t.Fatalf("retention out of range: %v", r)
+		}
+		prev = r
+	}
+}
+
+func TestRetentionEndpoints(t *testing.T) {
+	if GSM8K.Retention(0) != 1 {
+		t.Fatal("zero error must retain everything")
+	}
+	if GSM8K.Retention(100) > 0.001 {
+		t.Fatal("huge error must retain nothing")
+	}
+	// near-lossless regime: K8V4-level error keeps ≥97%
+	if GSM8K.Retention(0.15) < 0.97 {
+		t.Fatalf("K8V4-level error retention = %v", GSM8K.Retention(0.15))
+	}
+}
+
+func TestCoTFactorThinkingAmplifies(t *testing.T) {
+	if GSM8K.CoTFactor() != 1 {
+		t.Fatalf("short-gen CoT factor = %v", GSM8K.CoTFactor())
+	}
+	if AIME24.CoTFactor() <= 1.5 {
+		t.Fatalf("AIME24 CoT factor = %v, want > 1.5", AIME24.CoTFactor())
+	}
+	if GPQA.CoTFactor() <= GSM8K.CoTFactor() {
+		t.Fatal("long-CoT workloads must amplify error more")
+	}
+}
+
+func TestLongContextExemptFromCoT(t *testing.T) {
+	if LBGovReport.CoTFactor() != 1 {
+		t.Fatal("long-context workloads are prompt-dominated: no CoT amplification")
+	}
+}
+
+func TestAccuracyUsesModelReference(t *testing.T) {
+	a := GSM8K.Accuracy("Llama3-8B", 0)
+	if a != 76.3 {
+		t.Fatalf("FP16 accuracy = %v", a)
+	}
+	// unknown model: falls back to mean of references
+	mean := GSM8K.Accuracy("not-a-model", 0)
+	if mean < 76 || mean > 91 {
+		t.Fatalf("fallback accuracy = %v", mean)
+	}
+}
+
+func TestThinkingBenchmarksPunishModerateError(t *testing.T) {
+	// The same moderate error that GSM8K mostly tolerates must crater on
+	// AIME24 (CoT accumulation) — the Table 3 phenomenon.
+	err := 0.5
+	gsm := GSM8K.Retention(err)
+	aime := AIME24.Retention(err)
+	if aime >= gsm {
+		t.Fatalf("AIME24 retention (%v) should be below GSM8K (%v)", aime, gsm)
+	}
+	if aime > 0.35 {
+		t.Fatalf("moderate error on AIME24 retains too much: %v", aime)
+	}
+}
+
+func TestEvalLenCaps(t *testing.T) {
+	p, g := AIME24.EvalLen()
+	if p+g > EvalCapTokens {
+		t.Fatalf("eval length %d exceeds cap", p+g)
+	}
+	if p < 64 || g < 64 {
+		t.Fatalf("eval lengths too small: %d, %d", p, g)
+	}
+	// short benchmarks are unchanged
+	p, g = HumanEvalPlus.EvalLen()
+	if p != 192 || g != 384 {
+		t.Fatalf("short benchmark rescaled: %d, %d", p, g)
+	}
+}
+
+func TestByName(t *testing.T) {
+	b, err := ByName("GSM8K")
+	if err != nil || b != GSM8K {
+		t.Fatal("lookup failed")
+	}
+	if _, err := ByName("MATH-train"); err != nil {
+		t.Fatal("calibration split must be addressable")
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestSuitesComplete(t *testing.T) {
+	if len(CoreBenchmarks) != 6 {
+		t.Fatalf("Table 1 suite has %d benchmarks", len(CoreBenchmarks))
+	}
+	if len(ThinkingBenchmarks) != 3 {
+		t.Fatalf("Table 3 suite has %d benchmarks", len(ThinkingBenchmarks))
+	}
+	if len(LongBench) != 6 {
+		t.Fatalf("Table 2 suite has %d benchmarks", len(LongBench))
+	}
+	for _, b := range ThinkingBenchmarks {
+		if _, ok := b.FP16["QwQ-32B"]; !ok {
+			t.Fatalf("%s missing QwQ-32B reference", b.Name)
+		}
+	}
+}
+
+func TestRequestGenLengths(t *testing.T) {
+	g := NewRequestGen(MATH, 4096, 1)
+	var pSum, gSum float64
+	n := 2000
+	for i := 0; i < n; i++ {
+		r := g.Next(0)
+		if r.PromptLen < 16 || r.GenLen < 16 {
+			t.Fatalf("degenerate request %+v", r)
+		}
+		if r.GenLen > 4096 {
+			t.Fatalf("generation cap violated: %d", r.GenLen)
+		}
+		pSum += float64(r.PromptLen)
+		gSum += float64(r.GenLen)
+	}
+	pMean := pSum / float64(n)
+	if pMean < 300 || pMean > 500 {
+		t.Fatalf("prompt mean = %v, profile says 384", pMean)
+	}
+}
+
+func TestRequestGenIDsUnique(t *testing.T) {
+	g := NewRequestGen(GSM8K, 4096, 2)
+	seen := map[int]bool{}
+	for _, r := range g.Batch(100) {
+		if seen[r.ID] {
+			t.Fatal("duplicate request ID")
+		}
+		seen[r.ID] = true
+	}
+}
+
+func TestPoissonArrivals(t *testing.T) {
+	g := NewRequestGen(GSM8K, 4096, 3)
+	reqs := g.Poisson(2.0, 100) // 2 req/s for 100s -> ~200 requests
+	if len(reqs) < 150 || len(reqs) > 260 {
+		t.Fatalf("poisson produced %d requests, want ~200", len(reqs))
+	}
+	prev := -1.0
+	for _, r := range reqs {
+		if r.ArrivalUs <= prev {
+			t.Fatal("arrivals not strictly increasing")
+		}
+		if r.ArrivalUs > 100e6 {
+			t.Fatal("arrival beyond horizon")
+		}
+		prev = r.ArrivalUs
+	}
+}
+
+func TestPoissonRateScaling(t *testing.T) {
+	slow := NewRequestGen(GSM8K, 4096, 4).Poisson(0.5, 200)
+	fast := NewRequestGen(GSM8K, 4096, 4).Poisson(5, 200)
+	if len(fast) < 5*len(slow) {
+		t.Fatalf("rate scaling broken: %d vs %d", len(fast), len(slow))
+	}
+}
+
+func TestRetentionCurveSeparatesRegimes(t *testing.T) {
+	// sanity of the calibrated constants: the three regimes the paper's
+	// tables show must be separated by the curve on a standard benchmark
+	nearLossless := MATH.Retention(0.15) // DiffKV / K8V4 regime
+	degraded := MATH.Retention(0.55)     // INT4-ish regime
+	broken := MATH.Retention(2.5)        // K2V4 / K4V1 regime
+	if nearLossless < 0.97 {
+		t.Fatalf("near-lossless regime = %v", nearLossless)
+	}
+	if degraded < 0.5 || degraded > 0.97 {
+		t.Fatalf("degraded regime = %v", degraded)
+	}
+	if broken > 0.05 {
+		t.Fatalf("broken regime = %v", broken)
+	}
+	if math.Abs(nearLossless-degraded) < 0.02 {
+		t.Fatal("regimes not separated")
+	}
+}
+
+func TestCoTBatchNearLimit(t *testing.T) {
+	g := NewRequestGen(MATH, 4096, 5)
+	for _, r := range g.CoTBatch(50) {
+		if r.GenLen < 2867 || r.GenLen > 4096 {
+			t.Fatalf("CoT generation length %d outside [0.7, 1.0] of the limit", r.GenLen)
+		}
+		if r.PromptLen < 16 {
+			t.Fatalf("degenerate prompt %d", r.PromptLen)
+		}
+	}
+}
+
+func TestAccuracyNeverNegative(t *testing.T) {
+	for _, b := range append(append([]*Benchmark{}, CoreBenchmarks...), ThinkingBenchmarks...) {
+		for _, e := range []float64{0, 0.5, 2, 100} {
+			if a := b.Accuracy("Llama3-8B", e); a < 0 {
+				t.Fatalf("%s negative accuracy at err %v", b.Name, e)
+			}
+		}
+	}
+}
