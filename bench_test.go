@@ -49,6 +49,10 @@ func BenchmarkTable1AccuracyMemory(b *testing.B)        { benchExperiment(b, "ta
 func BenchmarkTable2LongBench(b *testing.B)             { benchExperiment(b, "tab2") }
 func BenchmarkTable3ThinkingModels(b *testing.B)        { benchExperiment(b, "tab3") }
 
+// --- beyond the paper: cluster serving ---
+
+func BenchmarkClusterRouting(b *testing.B) { benchExperiment(b, "cluster-routing") }
+
 // --- kernel micro-benchmarks ---
 
 func BenchmarkQuantizeK8(b *testing.B) {

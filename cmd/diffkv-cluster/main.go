@@ -1,0 +1,138 @@
+// Command diffkv-cluster runs the multi-instance cluster simulator: N
+// serving engines behind a router, under Poisson arrivals with shared
+// prompt prefixes, and prints per-policy SLO metrics (TTFT/TPOT
+// percentiles, goodput, utilization, load imbalance, shed count).
+//
+// Usage:
+//
+//	diffkv-cluster -instances 4 -rate 10 -seconds 60
+//	diffkv-cluster -policy prefix-affinity -method DiffKV -trace events.jsonl
+//	diffkv-cluster -policy all -bench MMLU -groups 16 -prefixlen 768
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"diffkv"
+)
+
+func main() {
+	var (
+		instances  = flag.Int("instances", 4, "number of serving instances")
+		modelName  = flag.String("model", "Llama3-8B", "model name")
+		method     = flag.String("method", "vLLM", "vLLM|Quest|SnapKV|Atom|KIVI|DiffKV")
+		benchName  = flag.String("bench", "MMLU", "workload benchmark")
+		policy     = flag.String("policy", "all", "round-robin|least-loaded|prefix-affinity|all")
+		rate       = flag.Float64("rate", 10, "Poisson arrival rate (req/s, whole cluster)")
+		seconds    = flag.Float64("seconds", 60, "arrival horizon")
+		groups     = flag.Int("groups", 16, "shared-prefix groups (0 = no shared prefixes)")
+		prefixLen  = flag.Int("prefixlen", 768, "shared prefix length (tokens)")
+		sharedFrac = flag.Float64("sharedfrac", 0.9, "fraction of requests in a prefix group")
+		cacheG     = flag.Int("cachegroups", 8, "per-instance prefix-cache capacity (groups)")
+		maxQueue   = flag.Int("maxqueue", 128, "admission bound: per-instance queue depth (0 = never shed)")
+		maxGen     = flag.Int("maxgen", 256, "generation limit")
+		memFrac    = flag.Float64("memfrac", 0.3, "DiffKV resident memory fraction")
+		ttftSLO    = flag.Float64("ttft-slo", 2.0, "TTFT SLO (seconds) for goodput")
+		tpotSLO    = flag.Float64("tpot-slo", 0.1, "TPOT SLO (seconds/token) for goodput")
+		tracePath  = flag.String("trace", "", "write trace events as JSON lines to this file")
+		seed       = flag.Uint64("seed", 42, "random seed")
+	)
+	flag.Parse()
+
+	model, err := diffkv.ModelByName(*modelName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bench, err := diffkv.BenchmarkByName(*benchName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	traits, err := diffkv.TraitsFor(*method, *memFrac)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	policies := diffkv.RoutingPolicies()
+	if *policy != "all" {
+		policies = []string{*policy}
+	}
+
+	pc := diffkv.PrefixConfig{Groups: *groups, PrefixLen: *prefixLen, SharedFrac: *sharedFrac}
+	fmt.Printf("%d instances | %s | %s | %s | %.1f req/s for %.0fs | %d prefix groups x %d tokens (%.0f%% shared)\n\n",
+		*instances, model.Name, *method, bench.Name, *rate, *seconds,
+		pc.Groups, pc.PrefixLen, 100*pc.SharedFrac)
+
+	header := fmt.Sprintf("%-16s %8s %11s %11s %11s %9s %14s %6s %10s %8s %6s",
+		"policy", "done", "ttft-p50(s)", "ttft-p95(s)", "ttft-p99(s)", "tpot-p95", "goodput(req/s)", "util", "imbalance", "hit-frac", "shed")
+	fmt.Println(header)
+	for range header {
+		fmt.Print("-")
+	}
+	fmt.Println()
+
+	for _, pol := range policies {
+		var collector *diffkv.TraceCollector
+		cfg := diffkv.ClusterServerConfig{
+			Instances:     *instances,
+			Policy:        pol,
+			MaxQueueDepth: *maxQueue,
+			TTFTSLOUs:     *ttftSLO * 1e6,
+			TPOTSLOUs:     *tpotSLO * 1e6,
+			Seed:          *seed,
+		}
+		cfg.Engine.Model = model
+		cfg.Engine.Cluster = diffkv.NewCluster(diffkv.L40(), 1)
+		cfg.Engine.Traits = traits
+		cfg.Engine.MaxGenLen = *maxGen
+		cfg.Engine.PrefixCacheGroups = *cacheG
+		if *method == "DiffKV" {
+			cfg.Engine.UseManager = true
+			cfg.Engine.HiFrac, cfg.Engine.LoFrac = 0.2, 0.25
+		}
+		if *tracePath != "" {
+			collector = diffkv.NewTraceCollector(1 << 20)
+			cfg.Tracer = collector
+		}
+
+		cs, err := diffkv.NewClusterServer(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// same seed per policy: identical arrival sequences, fair comparison
+		reqs := diffkv.NewRequestGen(bench, *maxGen, *seed).PoissonShared(*rate, *seconds, pc)
+		m, err := cs.Run(reqs)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		fmt.Printf("%-16s %4d/%-3d %11.3f %11.3f %11.3f %9.4f %14.2f %5.0f%% %10.3f %7.1f%% %6d\n",
+			m.Policy, m.Completed, m.Submitted,
+			m.TTFT.P50, m.TTFT.P95, m.TTFT.P99, m.TPOT.P95,
+			m.GoodputReqPerSec, 100*m.MeanUtilization, m.LoadImbalanceCV,
+			100*m.PrefixCacheHitFrac, m.Rejected)
+		if stuck := m.Stuck(); stuck != 0 {
+			fmt.Printf("  WARNING: %d dispatched requests never completed (liveness violation)\n", stuck)
+		}
+
+		if collector != nil {
+			name := *tracePath
+			if len(policies) > 1 {
+				name = fmt.Sprintf("%s.%s", *tracePath, pol)
+			}
+			f, err := os.Create(name)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := collector.WriteJSONL(f); err != nil {
+				log.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  trace: %d events -> %s\n", len(collector.Events()), name)
+		}
+	}
+}

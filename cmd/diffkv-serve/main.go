@@ -40,10 +40,15 @@ func main() {
 		log.Fatal(err)
 	}
 
+	traits, err := diffkv.TraitsFor(*method, *memFrac)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	cfg := diffkv.ServerConfig{
 		Model:     model,
 		Cluster:   diffkv.NewCluster(diffkv.L40(), *gpus),
-		Traits:    diffkv.TraitsFor(*method, *memFrac),
+		Traits:    traits,
 		MaxGenLen: *maxGen,
 		Seed:      *seed,
 	}

@@ -25,7 +25,10 @@
 package diffkv
 
 import (
+	"fmt"
+
 	"diffkv/internal/baselines"
+	"diffkv/internal/cluster"
 	"diffkv/internal/core"
 	"diffkv/internal/experiments"
 	"diffkv/internal/gpusim"
@@ -149,23 +152,29 @@ func NewRequestGen(b *Benchmark, maxGenLen int, seed uint64) *workload.RequestGe
 // serving engine (resident memory, attention bytes, host overheads).
 type ServingTraits = baselines.ServingTraits
 
+// Methods lists the serving methods TraitsFor accepts.
+var Methods = []string{"vLLM", "Quest", "SnapKV", "Atom", "KIVI", "DiffKV"}
+
 // TraitsFor returns the serving traits of a named method ("vLLM", "Quest",
 // "SnapKV", "Atom", "KIVI" or "DiffKV"). diffKVMemFrac is DiffKV's
-// measured resident memory fraction (ignored for other methods).
-func TraitsFor(name string, diffKVMemFrac float64) ServingTraits {
+// measured resident memory fraction (ignored for other methods). Unknown
+// method names are an error — they used to silently select vLLM traits.
+func TraitsFor(name string, diffKVMemFrac float64) (ServingTraits, error) {
 	switch name {
+	case "vLLM":
+		return baselines.TraitsVLLM, nil
 	case "Quest":
-		return baselines.TraitsQuest
+		return baselines.TraitsQuest, nil
 	case "SnapKV":
-		return baselines.TraitsSnapKV
+		return baselines.TraitsSnapKV, nil
 	case "Atom":
-		return baselines.TraitsAtom
+		return baselines.TraitsAtom, nil
 	case "KIVI":
-		return baselines.TraitsKIVI
+		return baselines.TraitsKIVI, nil
 	case "DiffKV":
-		return baselines.TraitsDiffKV(diffKVMemFrac)
+		return baselines.TraitsDiffKV(diffKVMemFrac), nil
 	default:
-		return baselines.TraitsVLLM
+		return ServingTraits{}, fmt.Errorf("diffkv: unknown serving method %q (want one of %v)", name, Methods)
 	}
 }
 
@@ -183,6 +192,42 @@ func RunExperiment(id string, o ExperimentOpts) ([]*ResultTable, error) {
 
 // ExperimentIDs lists the available experiment IDs.
 func ExperimentIDs() []string { return experiments.IDs() }
+
+// ClusterServerConfig parameterizes the multi-instance cluster simulator:
+// N serving engines behind a router with a pluggable routing policy,
+// admission control and SLO accounting.
+type ClusterServerConfig = cluster.Config
+
+// ClusterServer runs N serving instances behind a router.
+type ClusterServer = cluster.Cluster
+
+// ClusterMetrics aggregates one cluster run: TTFT/TPOT/E2E percentiles,
+// goodput, per-instance utilization and load imbalance.
+type ClusterMetrics = cluster.Metrics
+
+// Routing policies for ClusterServerConfig.Policy.
+const (
+	RouteRoundRobin     = cluster.PolicyRoundRobin
+	RouteLeastLoaded    = cluster.PolicyLeastLoaded
+	RoutePrefixAffinity = cluster.PolicyPrefixAffinity
+)
+
+// RoutingPolicies lists the available routing policy names.
+func RoutingPolicies() []string { return cluster.Policies() }
+
+// NewClusterServer builds a multi-instance cluster simulator.
+func NewClusterServer(cfg ClusterServerConfig) (*ClusterServer, error) {
+	return cluster.New(cfg)
+}
+
+// ServingCompletion is one finished request with its TTFT/TPOT-defining
+// timestamps, returned by the steppable Server API (Server.Step).
+type ServingCompletion = serving.Completion
+
+// PrefixConfig parameterizes shared-prompt-prefix sampling
+// (RequestGen.NextShared / PoissonShared): production traffic concentrates
+// on a few system prompts, which prefix-affinity routing exploits.
+type PrefixConfig = workload.PrefixConfig
 
 // Tracer receives serving-engine events (admissions, preemptions,
 // completions, step timings); TraceCollector is the bounded in-memory

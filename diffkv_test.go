@@ -62,10 +62,14 @@ func TestPublicExperimentRegistry(t *testing.T) {
 }
 
 func TestPublicServerSmoke(t *testing.T) {
+	traits, err := TraitsFor("vLLM", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	srv, err := NewServer(ServerConfig{
 		Model:   Llama3_8B,
 		Cluster: NewCluster(L40(), 1),
-		Traits:  TraitsFor("vLLM", 0),
+		Traits:  traits,
 		Seed:    3,
 	})
 	if err != nil {
@@ -78,6 +82,53 @@ func TestPublicServerSmoke(t *testing.T) {
 	}
 	if res.Completed != 4 {
 		t.Fatalf("completed %d", res.Completed)
+	}
+}
+
+func TestTraitsForRejectsUnknownMethod(t *testing.T) {
+	if _, err := TraitsFor("NoSuchMethod", 0); err == nil {
+		t.Fatal("unknown method must error, not silently map to vLLM")
+	}
+	for _, m := range Methods {
+		if _, err := TraitsFor(m, 0.3); err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+	}
+}
+
+func TestPublicClusterSmoke(t *testing.T) {
+	traits, err := TraitsFor("vLLM", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ClusterServerConfig{
+		Instances: 2,
+		Policy:    RoutePrefixAffinity,
+		Seed:      5,
+	}
+	cfg.Engine.Model = Llama3_8B
+	cfg.Engine.Cluster = NewCluster(L40(), 1)
+	cfg.Engine.Traits = traits
+	cfg.Engine.MaxGenLen = 128
+	cfg.Engine.PrefixCacheGroups = 4
+	cs, err := NewClusterServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := NewRequestGen(BenchMMLU, 128, 5).
+		PoissonShared(4, 10, PrefixConfig{Groups: 3, PrefixLen: 512, SharedFrac: 0.8})
+	if len(reqs) == 0 {
+		t.Skip("no arrivals drawn")
+	}
+	m, err := cs.Run(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Stuck() != 0 {
+		t.Fatalf("%d requests stuck", m.Stuck())
+	}
+	if m.Completed != len(reqs) {
+		t.Fatalf("completed %d of %d", m.Completed, len(reqs))
 	}
 }
 

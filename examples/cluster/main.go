@@ -1,0 +1,60 @@
+// Cluster serving: four DiffKV instances behind a prefix-affinity router.
+// Production traffic concentrates on a few system prompts; routing requests
+// that share a prefix to the instance already holding its KV pages cuts
+// time-to-first-token versus spreading them round-robin, because the
+// affine instance skips recomputing the shared prefix.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"diffkv"
+)
+
+func main() {
+	traits, err := diffkv.TraitsFor("DiffKV", 0.3)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// prefix-heavy workload: 16 system prompts of 768 tokens, 90% of
+	// requests reuse one of them
+	pc := diffkv.PrefixConfig{Groups: 16, PrefixLen: 768, SharedFrac: 0.9}
+
+	fmt.Println("4x L40 Llama3-8B cluster, MMLU-like prompts, 10 req/s Poisson")
+	fmt.Printf("%-16s %12s %12s %12s %10s\n",
+		"policy", "ttft-p50(s)", "ttft-p95(s)", "goodput", "hit-frac")
+
+	for _, policy := range diffkv.RoutingPolicies() {
+		cfg := diffkv.ClusterServerConfig{
+			Instances:     4,
+			Policy:        policy,
+			MaxQueueDepth: 128,
+			Seed:          17,
+		}
+		cfg.Engine.Model = diffkv.Llama3_8B
+		cfg.Engine.Cluster = diffkv.NewCluster(diffkv.L40(), 1)
+		cfg.Engine.Traits = traits
+		cfg.Engine.UseManager = true // real paged memory manager per instance
+		cfg.Engine.HiFrac, cfg.Engine.LoFrac = 0.2, 0.25
+		cfg.Engine.MaxGenLen = 256
+		cfg.Engine.PrefixCacheGroups = 8
+
+		cs, err := diffkv.NewClusterServer(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		reqs := diffkv.NewRequestGen(diffkv.BenchMMLU, 256, 17).PoissonShared(10, 30, pc)
+		m, err := cs.Run(reqs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-16s %12.3f %12.3f %12.2f %9.1f%%\n",
+			m.Policy, m.TTFT.P50, m.TTFT.P95, m.GoodputReqPerSec, 100*m.PrefixCacheHitFrac)
+	}
+
+	fmt.Println("\nPrefix-affinity keeps each shared prefix hot on one instance;")
+	fmt.Println("round-robin makes every instance re-warm every prefix (llm-d-style")
+	fmt.Println("cache-aware routing versus cache-oblivious spraying).")
+}

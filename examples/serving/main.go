@@ -22,10 +22,14 @@ func main() {
 	for _, rate := range []float64{0.5, 1, 2, 5} {
 		row := fmt.Sprintf("%-12.1f", rate)
 		for _, method := range []string{"vLLM", "DiffKV"} {
+			traits, err := diffkv.TraitsFor(method, 0.3)
+			if err != nil {
+				log.Fatal(err)
+			}
 			cfg := diffkv.ServerConfig{
 				Model:   model,
 				Cluster: cluster,
-				Traits:  diffkv.TraitsFor(method, 0.3),
+				Traits:  traits,
 				Seed:    11,
 			}
 			if method == "DiffKV" {

@@ -1,0 +1,3 @@
+module diffkv
+
+go 1.24

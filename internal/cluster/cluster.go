@@ -1,0 +1,204 @@
+// Package cluster runs N independent serving engines behind a router — the
+// fleet-level layer over the per-GPU DiffKV engine. A discrete-event loop
+// interleaves request dispatch with instance progress in global timestamp
+// order (arrivals before instance steps at equal times, lowest instance
+// index on ties, in the spirit of inference-sim's cluster simulator).
+// Routing policies are pluggable (round-robin, least-loaded,
+// prefix-affinity over a prefix-hash KV index), admission control sheds
+// load beyond a per-instance queue-depth bound, and the run reports
+// cluster SLO metrics: TTFT/TPOT percentiles, goodput, per-instance
+// utilization and load imbalance.
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"diffkv/internal/serving"
+	"diffkv/internal/trace"
+	"diffkv/internal/workload"
+)
+
+// Config parameterizes a cluster run.
+type Config struct {
+	// Instances is the number of serving engines (>= 1).
+	Instances int
+	// Engine is the per-instance serving configuration. Each instance
+	// derives an independent seed from it, and when Tracer is set each
+	// engine gets an instance-tagged tracer.
+	Engine serving.Config
+	// Policy selects the routing policy (PolicyRoundRobin,
+	// PolicyLeastLoaded or PolicyPrefixAffinity; default round-robin).
+	Policy string
+	// MaxQueueDepth bounds each instance's admission queue: an instance
+	// at the bound is unroutable, and a request is shed when every
+	// instance is at the bound. <= 0 disables shedding.
+	MaxQueueDepth int
+	// BlockTokens is the prefix-index block granularity in tokens
+	// (prefix-affinity only; default 64).
+	BlockTokens int
+	// IndexCapacity bounds the prefix index in blocks (default 32768).
+	IndexCapacity int
+	// AffinityQueueBound is the queue depth at which prefix-affinity
+	// abandons the affine instance for least-loaded (default 8).
+	AffinityQueueBound int
+	// TTFTSLOUs and TPOTSLOUs are the goodput SLO thresholds in
+	// microseconds (defaults: 2e6 — 2 s to first token — and 1e5 —
+	// 100 ms per output token).
+	TTFTSLOUs float64
+	TPOTSLOUs float64
+	// Tracer receives cluster dispatch/reject events plus every
+	// instance's engine events, tagged with 1-based instance IDs.
+	Tracer trace.Tracer
+	Seed   uint64
+}
+
+func (c *Config) validate() error {
+	if c.Instances < 1 {
+		return fmt.Errorf("cluster: Instances must be >= 1 (got %d)", c.Instances)
+	}
+	if c.TTFTSLOUs <= 0 {
+		c.TTFTSLOUs = 2e6
+	}
+	if c.TPOTSLOUs <= 0 {
+		c.TPOTSLOUs = 1e5
+	}
+	return nil
+}
+
+// Cluster is the multi-instance serving simulator.
+type Cluster struct {
+	cfg     Config
+	engines []*serving.Engine
+	policy  Policy
+	hasRun  bool
+}
+
+// New builds a cluster of cfg.Instances engines behind the configured
+// routing policy.
+func New(cfg Config) (*Cluster, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	policy, err := newPolicy(cfg)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{cfg: cfg, policy: policy}
+	for i := 0; i < cfg.Instances; i++ {
+		ec := cfg.Engine
+		ec.Seed = cfg.Seed + uint64(i)*7919
+		if cfg.Tracer != nil {
+			ec.Tracer = trace.WithInstance(cfg.Tracer, i+1)
+		}
+		eng, err := serving.NewEngine(ec)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: instance %d: %w", i, err)
+		}
+		c.engines = append(c.engines, eng)
+	}
+	return c, nil
+}
+
+// Policy returns the active routing policy's name.
+func (c *Cluster) Policy() string { return c.policy.Name() }
+
+// Engines exposes the underlying serving engines (read-mostly: for
+// inspection and tests).
+func (c *Cluster) Engines() []*serving.Engine { return c.engines }
+
+func (c *Cluster) emit(ev trace.Event) {
+	if c.cfg.Tracer != nil {
+		c.cfg.Tracer.Emit(ev)
+	}
+}
+
+// Run routes the request list through the cluster and drains every
+// instance, returning aggregate SLO metrics. A cluster serves one run.
+func (c *Cluster) Run(reqs []workload.Request) (Metrics, error) {
+	if c.hasRun {
+		return Metrics{}, fmt.Errorf("cluster: Run called twice")
+	}
+	c.hasRun = true
+
+	pending := append([]workload.Request(nil), reqs...)
+	sort.SliceStable(pending, func(a, b int) bool {
+		return pending[a].ArrivalUs < pending[b].ArrivalUs
+	})
+
+	acc := newAccumulator(c.cfg, c.policy.Name(), len(reqs))
+
+	// Bound the event loop like Engine.Drain bounds a single-engine run:
+	// an unservable request (e.g. a prompt that can never fit one
+	// instance's pages) recompute-preempts forever, and without a step
+	// bound the cluster would never return. Breaking leaves the request
+	// visible as Metrics.Stuck() > 0.
+	steps := 0
+	const maxClusterSteps = 20_000_000
+
+	for steps < maxClusterSteps {
+		// earliest instance step (lowest index wins ties)
+		stepT := math.Inf(1)
+		pick := -1
+		for i, e := range c.engines {
+			if t, ok := e.NextTime(); ok && float64(t) < stepT {
+				stepT, pick = float64(t), i
+			}
+		}
+		arrT := math.Inf(1)
+		if len(pending) > 0 {
+			arrT = pending[0].ArrivalUs
+		}
+		if pick == -1 && math.IsInf(arrT, 1) {
+			break
+		}
+		// arrivals dispatch before instance steps at equal timestamps
+		if arrT <= stepT {
+			r := pending[0]
+			pending = pending[1:]
+			c.dispatch(r, acc)
+			continue
+		}
+		steps++
+		comps, err := c.engines[pick].Step()
+		if err != nil {
+			return acc.finish(c.engines), fmt.Errorf("cluster: instance %d: %w", pick, err)
+		}
+		for _, cp := range comps {
+			acc.complete(pick, cp)
+		}
+	}
+	return acc.finish(c.engines), nil
+}
+
+// dispatch routes one request: snapshot the fleet, filter saturated
+// instances (admission control), let the policy pick, and submit.
+func (c *Cluster) dispatch(r workload.Request, acc *accumulator) {
+	snaps := make([]Snapshot, 0, len(c.engines))
+	for i, e := range c.engines {
+		s := Snapshot{
+			ID:             i,
+			QueueDepth:     e.QueueDepth(),
+			Running:        e.RunningCount(),
+			ResidentTokens: e.ResidentTokens(),
+			ClockUs:        float64(e.Clock()),
+		}
+		if c.cfg.MaxQueueDepth > 0 && s.QueueDepth >= c.cfg.MaxQueueDepth {
+			continue // saturated: unroutable
+		}
+		snaps = append(snaps, s)
+	}
+	if len(snaps) == 0 {
+		acc.reject()
+		c.emit(trace.Event{Kind: trace.KindReject, TimeUs: r.ArrivalUs, Seq: r.ID})
+		return
+	}
+	idx := c.policy.Pick(r, snaps)
+	c.engines[idx].Submit(r)
+	if obs, ok := c.policy.(observer); ok {
+		obs.Observe(r, idx, r.ArrivalUs)
+	}
+	acc.dispatch(idx, r)
+	c.emit(trace.Event{Kind: trace.KindDispatch, TimeUs: r.ArrivalUs, Seq: r.ID, Inst: idx + 1})
+}

@@ -1,0 +1,100 @@
+package cluster
+
+// KVIndex is a prefix-hash index in the style of llm-d's prefixhashtable:
+// it maps chained prompt-block hashes to the serving instances believed to
+// hold those KV blocks, so the router can score instances by how much of a
+// new prompt's prefix they already cache. The index is advisory — an
+// instance may have evicted a block the index still advertises, which
+// costs only a cache miss on the routed instance.
+type KVIndex struct {
+	capacity int
+	entries  map[uint64]*indexEntry
+}
+
+type indexEntry struct {
+	insts   map[int]float64 // instance ID → last access (us)
+	lastUse float64
+}
+
+// DefaultIndexCapacity bounds the number of distinct blocks retained.
+const DefaultIndexCapacity = 32768
+
+// NewKVIndex builds an index retaining at most capacity blocks
+// (<=0 selects DefaultIndexCapacity).
+func NewKVIndex(capacity int) *KVIndex {
+	if capacity <= 0 {
+		capacity = DefaultIndexCapacity
+	}
+	return &KVIndex{capacity: capacity, entries: make(map[uint64]*indexEntry)}
+}
+
+// Len returns the number of retained blocks.
+func (x *KVIndex) Len() int { return len(x.entries) }
+
+// Add records that inst now holds the KV of every block in hashes,
+// evicting least-recently-used blocks beyond capacity.
+func (x *KVIndex) Add(hashes []uint64, inst int, nowUs float64) {
+	for _, h := range hashes {
+		e := x.entries[h]
+		if e == nil {
+			e = &indexEntry{insts: make(map[int]float64, 2)}
+			x.entries[h] = e
+		}
+		e.insts[inst] = nowUs
+		e.lastUse = nowUs
+	}
+	for len(x.entries) > x.capacity {
+		x.evictOldest()
+	}
+}
+
+// evictOldest removes the least-recently-used block (ties broken by lowest
+// hash for determinism).
+func (x *KVIndex) evictOldest() {
+	var victim uint64
+	first := true
+	var victimT float64
+	for h, e := range x.entries {
+		if first || e.lastUse < victimT || (e.lastUse == victimT && h < victim) {
+			victim, victimT = h, e.lastUse
+			first = false
+		}
+	}
+	if !first {
+		delete(x.entries, victim)
+	}
+}
+
+// Matches scores each instance by how many consecutive leading blocks of
+// the hash sequence it holds (llm-d early-stop semantics: scoring for an
+// instance ends at its first missing block, and the scan ends at the first
+// block no instance holds).
+func (x *KVIndex) Matches(hashes []uint64) map[int]int {
+	counts := make(map[int]int)
+	var alive map[int]bool
+	for i, h := range hashes {
+		e := x.entries[h]
+		if e == nil {
+			break
+		}
+		if i == 0 {
+			alive = make(map[int]bool, len(e.insts))
+			for inst := range e.insts {
+				alive[inst] = true
+				counts[inst] = 1
+			}
+		} else {
+			for inst := range alive {
+				if _, ok := e.insts[inst]; ok {
+					counts[inst]++
+				} else {
+					delete(alive, inst)
+				}
+			}
+		}
+		if len(alive) == 0 {
+			break
+		}
+	}
+	return counts
+}

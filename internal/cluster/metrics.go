@@ -1,0 +1,185 @@
+package cluster
+
+import (
+	"math"
+
+	"diffkv/internal/serving"
+	"diffkv/internal/stats"
+	"diffkv/internal/workload"
+)
+
+// Quantiles summarizes a latency distribution in seconds.
+type Quantiles struct {
+	P50, P95, P99, Mean float64
+}
+
+func quantilesOf(xs []float64) Quantiles {
+	if len(xs) == 0 {
+		return Quantiles{}
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return Quantiles{
+		P50:  stats.Quantile(xs, 0.50),
+		P95:  stats.Quantile(xs, 0.95),
+		P99:  stats.Quantile(xs, 0.99),
+		Mean: sum / float64(len(xs)),
+	}
+}
+
+// InstanceStats reports one instance's share of the run.
+type InstanceStats struct {
+	Dispatched       int
+	Completed        int
+	DispatchedTokens int
+	// BusySeconds is simulated time spent executing steps.
+	BusySeconds float64
+	// Utilization is BusySeconds over the cluster makespan.
+	Utilization float64
+}
+
+// Metrics aggregates one cluster run: request accounting, SLO latency
+// percentiles, goodput and load balance.
+type Metrics struct {
+	Policy    string
+	Instances int
+
+	Submitted  int
+	Dispatched int
+	Rejected   int
+	Completed  int
+
+	// ElapsedSeconds is the cluster makespan (latest instance clock).
+	ElapsedSeconds float64
+	// ThroughputTokensPerSec counts generated tokens per second.
+	ThroughputTokensPerSec float64
+
+	// TTFT is time to first token, TPOT time per output token after the
+	// first, E2E arrival-to-completion — all in seconds.
+	TTFT, TPOT, E2E Quantiles
+
+	// GoodputReqPerSec counts completions meeting both SLOs per second;
+	// GoodputFrac is their fraction of dispatched requests.
+	GoodputReqPerSec float64
+	GoodputFrac      float64
+
+	PerInstance     []InstanceStats
+	MeanUtilization float64
+	// LoadImbalanceCV is the coefficient of variation (std/mean) of
+	// per-instance busy time: 0 = perfectly balanced.
+	LoadImbalanceCV float64
+
+	// PrefixCacheHitFrac is the fraction of completed requests' prompt
+	// tokens served from instance prefix caches.
+	PrefixCacheHitFrac float64
+}
+
+// Stuck counts dispatched requests that never completed. After a drained
+// run it must be 0 — the liveness invariant cluster tests assert.
+func (m Metrics) Stuck() int { return m.Dispatched - m.Completed }
+
+// accumulator collects per-event state during a run and finalizes Metrics.
+type accumulator struct {
+	cfg    Config
+	m      Metrics
+	ttft   []float64
+	tpot   []float64
+	e2e    []float64
+	good   int
+	genTok int64
+	prompt int64
+	cached int64
+}
+
+func newAccumulator(cfg Config, policy string, submitted int) *accumulator {
+	return &accumulator{
+		cfg: cfg,
+		m: Metrics{
+			Policy:      policy,
+			Instances:   cfg.Instances,
+			Submitted:   submitted,
+			PerInstance: make([]InstanceStats, cfg.Instances),
+		},
+	}
+}
+
+func (a *accumulator) reject() { a.m.Rejected++ }
+
+func (a *accumulator) dispatch(inst int, r workload.Request) {
+	a.m.Dispatched++
+	a.m.PerInstance[inst].Dispatched++
+	a.m.PerInstance[inst].DispatchedTokens += r.PromptLen + r.GenLen
+}
+
+func (a *accumulator) complete(inst int, cp serving.Completion) {
+	a.m.Completed++
+	a.m.PerInstance[inst].Completed++
+	ttft := (cp.FirstTokenUs - cp.Req.ArrivalUs) / 1e6
+	tpot := 0.0
+	if cp.Req.GenLen > 0 {
+		tpot = (cp.DoneUs - cp.FirstTokenUs) / 1e6 / float64(cp.Req.GenLen)
+	}
+	a.ttft = append(a.ttft, ttft)
+	a.tpot = append(a.tpot, tpot)
+	a.e2e = append(a.e2e, (cp.DoneUs-cp.Req.ArrivalUs)/1e6)
+	if ttft*1e6 <= a.cfg.TTFTSLOUs && tpot*1e6 <= a.cfg.TPOTSLOUs {
+		a.good++
+	}
+	a.genTok += int64(cp.Req.GenLen)
+	a.prompt += int64(cp.Req.PromptLen)
+	a.cached += int64(cp.CachedPrefixTokens)
+}
+
+func (a *accumulator) finish(engines []*serving.Engine) Metrics {
+	m := a.m
+	var makespanUs float64
+	busy := make([]float64, len(engines))
+	for i, e := range engines {
+		if t := float64(e.Clock()); t > makespanUs {
+			makespanUs = t
+		}
+		busy[i] = e.BusyTime().Seconds()
+		m.PerInstance[i].BusySeconds = busy[i]
+	}
+	m.ElapsedSeconds = makespanUs / 1e6
+	if m.ElapsedSeconds > 0 {
+		m.ThroughputTokensPerSec = float64(a.genTok) / m.ElapsedSeconds
+		m.GoodputReqPerSec = float64(a.good) / m.ElapsedSeconds
+		for i := range m.PerInstance {
+			m.PerInstance[i].Utilization = busy[i] / m.ElapsedSeconds
+		}
+	}
+	if m.Dispatched > 0 {
+		m.GoodputFrac = float64(a.good) / float64(m.Dispatched)
+	}
+	m.TTFT = quantilesOf(a.ttft)
+	m.TPOT = quantilesOf(a.tpot)
+	m.E2E = quantilesOf(a.e2e)
+	if a.prompt > 0 {
+		m.PrefixCacheHitFrac = float64(a.cached) / float64(a.prompt)
+	}
+
+	var s stats.Summary
+	for _, b := range busy {
+		s.Add(b)
+	}
+	m.MeanUtilization = meanOf(m.PerInstance)
+	if s.Mean() > 0 {
+		// population-style CV over per-instance busy time
+		m.LoadImbalanceCV = math.Sqrt(s.Var()*float64(s.N()-1)/float64(s.N())) / s.Mean()
+	}
+	return m
+}
+
+func meanOf(insts []InstanceStats) float64 {
+	if len(insts) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, is := range insts {
+		sum += is.Utilization
+	}
+	return sum / float64(len(insts))
+}

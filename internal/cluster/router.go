@@ -1,0 +1,193 @@
+package cluster
+
+import (
+	"fmt"
+
+	"diffkv/internal/workload"
+)
+
+// Snapshot is the router's view of one serving instance at dispatch time.
+type Snapshot struct {
+	ID int
+	// QueueDepth counts submitted requests awaiting admission.
+	QueueDepth int
+	// Running counts admitted, in-flight requests.
+	Running int
+	// ResidentTokens sums the cached KV tokens of running sequences.
+	ResidentTokens int
+	// ClockUs is the instance's simulated clock.
+	ClockUs float64
+}
+
+// Policy picks a target instance for each request. Pick receives only
+// routable snapshots (admission control filters saturated instances first)
+// and the slice is never empty; it returns the chosen Snapshot.ID.
+// Policies must be deterministic: equal inputs yield equal picks.
+type Policy interface {
+	Name() string
+	Pick(req workload.Request, snaps []Snapshot) int
+}
+
+// observer is implemented by policies that learn from dispatch decisions
+// (prefix-affinity records which instance now holds a prompt's KV blocks).
+type observer interface {
+	Observe(req workload.Request, inst int, nowUs float64)
+}
+
+// Routing policy names.
+const (
+	PolicyRoundRobin     = "round-robin"
+	PolicyLeastLoaded    = "least-loaded"
+	PolicyPrefixAffinity = "prefix-affinity"
+)
+
+// Policies lists the available routing policy names.
+func Policies() []string {
+	return []string{PolicyRoundRobin, PolicyLeastLoaded, PolicyPrefixAffinity}
+}
+
+// roundRobin cycles through instances in ID order, skipping over instances
+// the admission filter removed.
+type roundRobin struct {
+	last int
+}
+
+// NewRoundRobin returns the round-robin routing policy.
+func NewRoundRobin() Policy { return &roundRobin{last: -1} }
+
+func (p *roundRobin) Name() string { return PolicyRoundRobin }
+
+func (p *roundRobin) Pick(_ workload.Request, snaps []Snapshot) int {
+	// smallest ID strictly after the previous pick, wrapping to the
+	// smallest overall
+	best, wrap := -1, -1
+	for _, s := range snaps {
+		if s.ID > p.last && (best == -1 || s.ID < best) {
+			best = s.ID
+		}
+		if wrap == -1 || s.ID < wrap {
+			wrap = s.ID
+		}
+	}
+	if best == -1 {
+		best = wrap
+	}
+	p.last = best
+	return best
+}
+
+// leastLoaded routes to the instance with the fewest in-flight requests,
+// breaking ties by resident KV tokens, then by lowest instance ID — the
+// last rule makes tie-breaking deterministic.
+type leastLoaded struct{}
+
+// NewLeastLoaded returns the least-loaded routing policy.
+func NewLeastLoaded() Policy { return leastLoaded{} }
+
+func (leastLoaded) Name() string { return PolicyLeastLoaded }
+
+func (leastLoaded) Pick(_ workload.Request, snaps []Snapshot) int {
+	best := snaps[0]
+	for _, s := range snaps[1:] {
+		if less(s, best) {
+			best = s
+		}
+	}
+	return best.ID
+}
+
+// less orders snapshots by load: (queued+running, resident tokens, ID).
+func less(a, b Snapshot) bool {
+	la, lb := a.QueueDepth+a.Running, b.QueueDepth+b.Running
+	if la != lb {
+		return la < lb
+	}
+	if a.ResidentTokens != b.ResidentTokens {
+		return a.ResidentTokens < b.ResidentTokens
+	}
+	return a.ID < b.ID
+}
+
+// prefixAffinity routes requests sharing a prompt prefix to the instance
+// that already holds those KV blocks (per the KVIndex), falling back to
+// least-loaded when no instance matches or the affine instance's queue is
+// saturated — the llm-d cache-aware routing scheme.
+type prefixAffinity struct {
+	index      *KVIndex
+	blockTok   int
+	queueBound int
+	fallback   Policy
+}
+
+// NewPrefixAffinity returns the prefix-affinity policy: blockTokens is the
+// index granularity (<=0 selects 64), queueBound is the affine instance's
+// queue depth beyond which the policy falls back to least-loaded (<=0
+// selects 8), indexCapacity bounds the block index (<=0 selects 32768).
+func NewPrefixAffinity(blockTokens, queueBound, indexCapacity int) Policy {
+	if blockTokens <= 0 {
+		blockTokens = 64
+	}
+	if queueBound <= 0 {
+		queueBound = 8
+	}
+	return &prefixAffinity{
+		index:      NewKVIndex(indexCapacity),
+		blockTok:   blockTokens,
+		queueBound: queueBound,
+		fallback:   NewLeastLoaded(),
+	}
+}
+
+func (p *prefixAffinity) Name() string { return PolicyPrefixAffinity }
+
+func (p *prefixAffinity) Pick(req workload.Request, snaps []Snapshot) int {
+	matches := p.index.Matches(req.BlockHashes(p.blockTok))
+	best, bestScore := -1, 0
+	for _, s := range snaps {
+		score := matches[s.ID]
+		if score == 0 || s.QueueDepth >= p.queueBound {
+			continue
+		}
+		// snaps arrive in ascending ID order, so strict > keeps the
+		// lowest-ID instance among equal scores
+		if score > bestScore {
+			best, bestScore = s.ID, score
+		}
+	}
+	if best >= 0 {
+		return best
+	}
+	return p.fallback.Pick(req, snaps)
+}
+
+func (p *prefixAffinity) Observe(req workload.Request, inst int, nowUs float64) {
+	// Only shared-prefix blocks are worth indexing: unique-tail block
+	// hashes chain the request ID, so no future request can ever match
+	// them — indexing them would only churn the LRU.
+	if req.PrefixGroup == 0 {
+		return
+	}
+	n := req.PrefixLen / p.blockTok
+	if n == 0 {
+		return
+	}
+	hashes := req.BlockHashes(p.blockTok)
+	if n > len(hashes) {
+		n = len(hashes)
+	}
+	p.index.Add(hashes[:n], inst, nowUs)
+}
+
+// newPolicy builds a routing policy from a cluster Config.
+func newPolicy(cfg Config) (Policy, error) {
+	switch cfg.Policy {
+	case "", PolicyRoundRobin:
+		return NewRoundRobin(), nil
+	case PolicyLeastLoaded:
+		return NewLeastLoaded(), nil
+	case PolicyPrefixAffinity:
+		return NewPrefixAffinity(cfg.BlockTokens, cfg.AffinityQueueBound, cfg.IndexCapacity), nil
+	default:
+		return nil, fmt.Errorf("cluster: unknown routing policy %q (have %v)", cfg.Policy, Policies())
+	}
+}

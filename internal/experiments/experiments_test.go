@@ -37,8 +37,8 @@ func TestOptsDefaults(t *testing.T) {
 }
 
 func TestRegistryComplete(t *testing.T) {
-	// every paper artifact plus the five ablations
-	if len(Registry) != 17+7 {
+	// every paper artifact, the ablations, and the cluster experiment
+	if len(Registry) != 17+7+1 {
 		t.Fatalf("registry has %d entries", len(Registry))
 	}
 	ids := IDs()
@@ -68,7 +68,7 @@ func TestCheapHarnessesSmoke(t *testing.T) {
 		t.Skip("short mode")
 	}
 	for _, id := range []string{"fig2", "fig3", "fig4", "fig5", "fig13", "fig15",
-		"abl-tables", "abl-levels", "abl-pagesize"} {
+		"abl-tables", "abl-levels", "abl-pagesize", "cluster-routing"} {
 		tables, err := Run(id, Opts{Fast: true, Reps: 1, Seed: 7})
 		if err != nil {
 			t.Fatalf("%s: %v", id, err)

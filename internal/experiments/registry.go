@@ -27,6 +27,8 @@ var Registry = map[string]Runner{
 	"tab1":  Table1,
 	"tab2":  Table2,
 	"tab3":  Table3,
+	// beyond the paper: multi-instance cluster serving (DESIGN.md §7)
+	"cluster-routing": ClusterRouting,
 	// design-choice ablations beyond the paper's headline results
 	// (DESIGN.md §6)
 	"abl-scan":     AblationScan,

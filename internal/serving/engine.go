@@ -5,10 +5,17 @@
 // model execution — the Fig. 14 breakdown), and DiffKV runs its real
 // counts-mode page manager so compaction work is actually performed, not
 // assumed.
+//
+// The engine is incrementally steppable: Submit queues requests, Step runs
+// one batched prompt or generation step and returns the requests it
+// completed, and NextTime exposes the clock at which the next step would
+// execute. Run wraps Submit+Drain for single-instance use; the cluster
+// package interleaves Step calls across many engines behind a router.
 package serving
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"diffkv/internal/baselines"
@@ -44,6 +51,13 @@ type Config struct {
 	// MemoryReserve is the fraction of post-weights device memory held
 	// back for activations (default 0.1).
 	MemoryReserve float64
+	// PrefixCacheGroups enables cross-request prefix-cache modeling: the
+	// engine keeps the KV of up to this many distinct prefix groups
+	// resident (LRU), and admitting a request whose PrefixGroup is cached
+	// skips recomputing those prompt tokens (shorter prompt step, less
+	// compressor work). Memory sharing of the cached prefix is not
+	// modeled — only the compute saving. 0 disables.
+	PrefixCacheGroups int
 	// Tracer receives admission/preemption/completion/step events when
 	// non-nil (see the trace package).
 	Tracer trace.Tracer
@@ -107,12 +121,35 @@ type Result struct {
 	PromptSteps, GenSteps int
 }
 
+// Completion records one finished request with its latency-defining
+// timestamps: TTFT is FirstTokenUs-Req.ArrivalUs, TPOT is
+// (DoneUs-FirstTokenUs)/Req.GenLen.
+type Completion struct {
+	Req workload.Request
+	// FirstTokenUs is the clock when the prompt phase finished (the first
+	// output token). After a recompute preemption it reflects the retry.
+	FirstTokenUs float64
+	// DoneUs is the clock at completion.
+	DoneUs float64
+	// CachedPrefixTokens counts prompt tokens served from the prefix
+	// cache (0 unless PrefixCacheGroups is enabled and the group was hot).
+	CachedPrefixTokens int
+}
+
 type seqState struct {
 	req        workload.Request
 	promptDone bool
 	generated  int
 	hiF, loF   []float64 // per-head tier fractions (manager mode)
 	winFill    int
+	cached     int     // prompt tokens served from the prefix cache
+	firstTokUs float64 // clock when the prompt phase completed
+}
+
+// prefixEntry tracks one resident shared-prefix group.
+type prefixEntry struct {
+	tokens  int
+	lastUse gpusim.Micros
 }
 
 // Engine is the serving simulator.
@@ -124,6 +161,19 @@ type Engine struct {
 	rng     *mathx.RNG
 	kvToken float64 // resident KV bytes per cached token (traits mode)
 	capTok  int     // token capacity (traits mode)
+
+	// incremental run state (Submit / Step / Drain)
+	pending      []workload.Request
+	running      []*seqState
+	clock        gpusim.Micros
+	admitBlocked bool
+	steps        int
+	genTokens    int64
+	batchTimeUs  float64
+	latencySum   float64
+	busyUs       gpusim.Micros
+	agg          Result
+	prefix       map[int]*prefixEntry
 }
 
 // NewEngine builds a serving engine.
@@ -132,6 +182,9 @@ func NewEngine(cfg Config) (*Engine, error) {
 		return nil, err
 	}
 	e := &Engine{cfg: cfg, dev: cfg.Cluster.Device, rng: mathx.NewRNG(cfg.Seed + 99)}
+	if cfg.PrefixCacheGroups > 0 {
+		e.prefix = make(map[int]*prefixEntry)
+	}
 	e.headsN = cfg.Model.Layers * cfg.Model.KVHeads
 
 	weights := cfg.Model.ParamsB * 2e9
@@ -188,156 +241,312 @@ func (e *Engine) emit(ev trace.Event) {
 	}
 }
 
-// Run processes the request list to completion (or admission starvation)
-// and returns aggregate metrics.
-func (e *Engine) Run(reqs []workload.Request) (Result, error) {
-	pending := append([]workload.Request(nil), reqs...)
-	sort.Slice(pending, func(a, b int) bool { return pending[a].ArrivalUs < pending[b].ArrivalUs })
+// maxTotalSteps bounds a drain loop against runaway simulations.
+const maxTotalSteps = 20_000_000
 
-	var clock gpusim.Micros
-	var running []*seqState
-	res := Result{}
-	var genTokens int64
-	var batchTimeProduct float64
-	var latencySum float64
-	// After a preemption the capacity heuristic has proven optimistic:
-	// hold admissions until a completion frees real pages.
-	admitBlocked := false
+// Submit queues a request for admission at its arrival time. The pending
+// queue is kept sorted by arrival so Step admits in time order.
+func (e *Engine) Submit(r workload.Request) {
+	i := sort.Search(len(e.pending), func(i int) bool {
+		return e.pending[i].ArrivalUs > r.ArrivalUs
+	})
+	e.pending = append(e.pending, workload.Request{})
+	copy(e.pending[i+1:], e.pending[i:])
+	e.pending[i] = r
+}
 
-	admit := func() error {
-		for len(pending) > 0 && float64(clock) >= pending[0].ArrivalUs {
-			r := pending[0]
-			// force-admit onto an empty engine so progress is guaranteed
-			if admitBlocked && len(running) > 0 {
-				break
+// HasWork reports whether any requests are queued or in flight.
+func (e *Engine) HasWork() bool { return len(e.running) > 0 || len(e.pending) > 0 }
+
+// NextTime returns the simulated time at which the next Step would begin,
+// and false when the engine has no work.
+func (e *Engine) NextTime() (gpusim.Micros, bool) {
+	if len(e.running) > 0 {
+		return e.clock, true
+	}
+	if len(e.pending) > 0 {
+		t := e.clock
+		if a := gpusim.Micros(e.pending[0].ArrivalUs); a > t {
+			t = a
+		}
+		return t, true
+	}
+	return 0, false
+}
+
+// Clock returns the engine's simulated clock in microseconds.
+func (e *Engine) Clock() gpusim.Micros { return e.clock }
+
+// QueueDepth returns how many submitted requests await admission.
+func (e *Engine) QueueDepth() int { return len(e.pending) }
+
+// RunningCount returns the number of admitted, in-flight requests.
+func (e *Engine) RunningCount() int { return len(e.running) }
+
+// ResidentTokens sums the cached KV tokens of all running sequences — the
+// load signal a least-loaded router balances on.
+func (e *Engine) ResidentTokens() int {
+	var n int
+	for _, st := range e.running {
+		n += st.req.PromptLen + st.generated
+	}
+	return n
+}
+
+// BusyTime returns the cumulative simulated time spent executing steps
+// (the engine is idle for the remainder of its clock).
+func (e *Engine) BusyTime() gpusim.Micros { return e.busyUs }
+
+// CachedPrefixTokens reports how many tokens of the given prefix group are
+// resident in the prefix cache (0 when disabled or evicted).
+func (e *Engine) CachedPrefixTokens(group int) int {
+	if ent, ok := e.prefix[group]; ok {
+		return ent.tokens
+	}
+	return 0
+}
+
+// admit moves due pending requests into the running batch while capacity
+// allows. After a preemption the capacity heuristic has proven optimistic,
+// so admissions hold until a completion frees real pages (admitBlocked) —
+// except onto an empty engine, where progress must be guaranteed.
+func (e *Engine) admit() error {
+	for len(e.pending) > 0 && float64(e.clock) >= e.pending[0].ArrivalUs {
+		r := e.pending[0]
+		if e.admitBlocked && len(e.running) > 0 {
+			break
+		}
+		if len(e.running) > 0 && !e.hasCapacityFor(e.running, r) {
+			break
+		}
+		st := &seqState{req: r}
+		if st.req.GenLen > e.cfg.MaxGenLen {
+			st.req.GenLen = e.cfg.MaxGenLen
+		}
+		if e.prefix != nil && r.PrefixGroup != 0 {
+			if ent, ok := e.prefix[r.PrefixGroup]; ok {
+				c := ent.tokens
+				if c > r.PrefixLen {
+					c = r.PrefixLen
+				}
+				// at least a tail of the prompt is always recomputed
+				if lim := st.req.PromptLen - 16; c > lim {
+					c = lim
+				}
+				if c > 0 {
+					st.cached = c
+				}
+				ent.lastUse = e.clock
 			}
-			if len(running) > 0 && !e.hasCapacityFor(running, r) {
-				break
+		}
+		if e.mgr != nil {
+			if err := e.registerSeq(st); err != nil {
+				return err
 			}
-			st := &seqState{req: r}
-			if st.req.GenLen > e.cfg.MaxGenLen {
-				st.req.GenLen = e.cfg.MaxGenLen
-			}
-			if e.mgr != nil {
-				if err := e.registerSeq(st); err != nil {
-					return err
+		}
+		e.running = append(e.running, st)
+		e.pending = e.pending[1:]
+		e.emit(trace.Event{Kind: trace.KindAdmit, TimeUs: float64(e.clock), Seq: st.req.ID})
+	}
+	return nil
+}
+
+// touchPrefix records a completed prompt's shared prefix as resident,
+// evicting the least-recently-used group beyond capacity (ties broken by
+// lowest group ID for determinism).
+func (e *Engine) touchPrefix(st *seqState) {
+	if e.prefix == nil || st.req.PrefixGroup == 0 {
+		return
+	}
+	n := st.req.PrefixLen
+	if n > st.req.PromptLen {
+		n = st.req.PromptLen
+	}
+	ent := e.prefix[st.req.PrefixGroup]
+	if ent == nil {
+		ent = &prefixEntry{}
+		e.prefix[st.req.PrefixGroup] = ent
+		for len(e.prefix) > e.cfg.PrefixCacheGroups {
+			victim, victimT := -1, gpusim.Micros(math.MaxInt64)
+			for g, en := range e.prefix {
+				if g == st.req.PrefixGroup {
+					continue
+				}
+				if en.lastUse < victimT || (en.lastUse == victimT && (victim == -1 || g < victim)) {
+					victim, victimT = g, en.lastUse
 				}
 			}
-			running = append(running, st)
-			pending = pending[1:]
-			e.emit(trace.Event{Kind: trace.KindAdmit, TimeUs: float64(clock), Seq: st.req.ID})
-		}
-		return nil
-	}
-
-	maxSteps := 20_000_000
-	for step := 0; step < maxSteps; step++ {
-		if len(running) == 0 {
-			if len(pending) == 0 {
+			if victim < 0 {
 				break
 			}
-			// idle until next arrival
-			if float64(clock) < pending[0].ArrivalUs {
-				clock = gpusim.Micros(pending[0].ArrivalUs)
+			delete(e.prefix, victim)
+		}
+	}
+	if n > ent.tokens {
+		ent.tokens = n
+	}
+	ent.lastUse = e.clock
+}
+
+// Step executes one scheduler iteration: idle-advance the clock to the
+// next arrival if nothing is running, admit due requests, run one batched
+// prompt or generation step (prompts prioritized, vLLM-style), requeue any
+// preempted sequences, and return the requests completed by this step.
+// Calling Step with no due work is a no-op returning (nil, nil).
+func (e *Engine) Step() ([]Completion, error) {
+	e.steps++
+	if len(e.running) == 0 {
+		if len(e.pending) == 0 {
+			return nil, nil
+		}
+		// idle until next arrival
+		if float64(e.clock) < e.pending[0].ArrivalUs {
+			e.clock = gpusim.Micros(e.pending[0].ArrivalUs)
+		}
+	}
+	if err := e.admit(); err != nil {
+		return nil, err
+	}
+	if len(e.running) == 0 {
+		return nil, nil
+	}
+
+	// split phase: prompts first (vLLM-style prioritized prompt steps)
+	var promptSeqs, genSeqs []*seqState
+	for _, st := range e.running {
+		if !st.promptDone {
+			promptSeqs = append(promptSeqs, st)
+		} else {
+			genSeqs = append(genSeqs, st)
+		}
+	}
+
+	var bd StepBreakdown
+	var preempted []*seqState
+	var err error
+	if len(promptSeqs) > 0 {
+		bd, preempted, err = e.promptStep(promptSeqs)
+		e.agg.Prompt.Scheduler += bd.Scheduler
+		e.agg.Prompt.MemMgmt += bd.MemMgmt
+		e.agg.Prompt.Compressor += bd.Compressor
+		e.agg.Prompt.ModelExec += bd.ModelExec
+		e.agg.PromptSteps++
+	} else {
+		bd, preempted, err = e.genStep(genSeqs)
+		e.agg.Gen.Scheduler += bd.Scheduler
+		e.agg.Gen.MemMgmt += bd.MemMgmt
+		e.agg.Gen.Compressor += bd.Compressor
+		e.agg.Gen.ModelExec += bd.ModelExec
+		e.agg.GenSteps++
+		e.genTokens += int64(len(genSeqs) - len(preempted))
+	}
+	if err != nil {
+		return nil, err
+	}
+	if len(preempted) > 0 {
+		// preempted sequences restart from scratch: back to pending
+		drop := make(map[*seqState]bool, len(preempted))
+		var requeued []workload.Request
+		for _, st := range preempted {
+			drop[st] = true
+			requeued = append(requeued, st.req)
+			e.emit(trace.Event{Kind: trace.KindPreempt, TimeUs: float64(e.clock), Seq: st.req.ID})
+		}
+		var kept []*seqState
+		for _, st := range e.running {
+			if !drop[st] {
+				kept = append(kept, st)
 			}
 		}
-		if err := admit(); err != nil {
-			return res, err
+		e.running = kept
+		e.pending = append(requeued, e.pending...)
+		e.admitBlocked = true
+	}
+	stepTime := bd.Total()
+	e.clock += stepTime
+	e.busyUs += stepTime
+	e.batchTimeUs += float64(len(e.running)) * float64(stepTime)
+	stepKind := trace.KindGenStep
+	if len(promptSeqs) > 0 {
+		stepKind = trace.KindPromptStep
+	}
+	e.emit(trace.Event{Kind: stepKind, TimeUs: float64(e.clock),
+		Batch: len(e.running), DurUs: float64(stepTime)})
+
+	// first-token timestamps and prefix-cache residency for prompts that
+	// finished in this step
+	for _, st := range promptSeqs {
+		if st.promptDone && st.firstTokUs == 0 {
+			st.firstTokUs = float64(e.clock)
+			e.touchPrefix(st)
 		}
-		if len(running) == 0 {
+	}
+
+	// completions
+	var done []Completion
+	var still []*seqState
+	for _, st := range e.running {
+		if st.promptDone && st.generated >= st.req.GenLen {
+			e.latencySum += (float64(e.clock) - st.req.ArrivalUs) / 1e6 / float64(st.req.GenLen)
+			e.agg.Completed++
+			e.admitBlocked = false
+			e.emit(trace.Event{Kind: trace.KindComplete, TimeUs: float64(e.clock), Seq: st.req.ID})
+			if e.mgr != nil {
+				if err := e.mgr.ReleaseSequence(st.req.ID); err != nil {
+					return done, err
+				}
+			}
+			done = append(done, Completion{
+				Req:                st.req,
+				FirstTokenUs:       st.firstTokUs,
+				DoneUs:             float64(e.clock),
+				CachedPrefixTokens: st.cached,
+			})
 			continue
 		}
-
-		// split phase: prompts first (vLLM-style prioritized prompt steps)
-		var promptSeqs, genSeqs []*seqState
-		for _, st := range running {
-			if !st.promptDone {
-				promptSeqs = append(promptSeqs, st)
-			} else {
-				genSeqs = append(genSeqs, st)
-			}
-		}
-
-		var bd StepBreakdown
-		var preempted []*seqState
-		var err error
-		if len(promptSeqs) > 0 {
-			bd, preempted, err = e.promptStep(promptSeqs)
-			res.Prompt.Scheduler += bd.Scheduler
-			res.Prompt.MemMgmt += bd.MemMgmt
-			res.Prompt.Compressor += bd.Compressor
-			res.Prompt.ModelExec += bd.ModelExec
-			res.PromptSteps++
-		} else {
-			bd, preempted, err = e.genStep(genSeqs)
-			res.Gen.Scheduler += bd.Scheduler
-			res.Gen.MemMgmt += bd.MemMgmt
-			res.Gen.Compressor += bd.Compressor
-			res.Gen.ModelExec += bd.ModelExec
-			res.GenSteps++
-			genTokens += int64(len(genSeqs) - len(preempted))
-		}
-		if err != nil {
-			return res, err
-		}
-		if len(preempted) > 0 {
-			// preempted sequences restart from scratch: back to pending
-			drop := make(map[*seqState]bool, len(preempted))
-			var requeued []workload.Request
-			for _, st := range preempted {
-				drop[st] = true
-				requeued = append(requeued, st.req)
-				e.emit(trace.Event{Kind: trace.KindPreempt, TimeUs: float64(clock), Seq: st.req.ID})
-			}
-			var kept []*seqState
-			for _, st := range running {
-				if !drop[st] {
-					kept = append(kept, st)
-				}
-			}
-			running = kept
-			pending = append(requeued, pending...)
-			admitBlocked = true
-		}
-		stepTime := bd.Total()
-		clock += stepTime
-		batchTimeProduct += float64(len(running)) * float64(stepTime)
-		stepKind := trace.KindGenStep
-		if len(promptSeqs) > 0 {
-			stepKind = trace.KindPromptStep
-		}
-		e.emit(trace.Event{Kind: stepKind, TimeUs: float64(clock),
-			Batch: len(running), DurUs: float64(stepTime)})
-
-		// completions
-		var still []*seqState
-		for _, st := range running {
-			if st.promptDone && st.generated >= st.req.GenLen {
-				latencySum += (float64(clock) - st.req.ArrivalUs) / 1e6 / float64(st.req.GenLen)
-				res.Completed++
-				admitBlocked = false
-				e.emit(trace.Event{Kind: trace.KindComplete, TimeUs: float64(clock), Seq: st.req.ID})
-				if e.mgr != nil {
-					if err := e.mgr.ReleaseSequence(st.req.ID); err != nil {
-						return res, err
-					}
-				}
-				continue
-			}
-			still = append(still, st)
-		}
-		running = still
+		still = append(still, st)
 	}
+	e.running = still
+	return done, nil
+}
 
-	res.ElapsedSeconds = clock.Seconds()
+// Drain steps the engine until all submitted work completes (or the step
+// bound is hit, matching the historical Run guard).
+func (e *Engine) Drain() error {
+	for e.HasWork() && e.steps < maxTotalSteps {
+		if _, err := e.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Result snapshots the aggregate metrics accumulated so far. It does not
+// mutate engine state, so it may be called mid-run.
+func (e *Engine) Result() Result {
+	res := e.agg
+	res.ElapsedSeconds = e.clock.Seconds()
 	if res.ElapsedSeconds > 0 {
-		res.Throughput = float64(genTokens) / res.ElapsedSeconds
-		res.AvgBatch = batchTimeProduct / float64(clock)
+		res.Throughput = float64(e.genTokens) / res.ElapsedSeconds
+		res.AvgBatch = e.batchTimeUs / float64(e.clock)
 	}
 	if res.Completed > 0 {
-		res.AvgPerTokenLatency = latencySum / float64(res.Completed)
+		res.AvgPerTokenLatency = e.latencySum / float64(res.Completed)
 	}
-	return res, nil
+	return res
+}
+
+// Run processes the request list to completion (or admission starvation)
+// and returns aggregate metrics. It is a convenience wrapper over
+// Submit/Drain/Result; an engine is meant to serve one run.
+func (e *Engine) Run(reqs []workload.Request) (Result, error) {
+	for _, r := range reqs {
+		e.Submit(r)
+	}
+	if err := e.Drain(); err != nil {
+		return e.Result(), err
+	}
+	return e.Result(), nil
 }
 
 // hasCapacityFor conservatively checks that admitting r keeps usage under
@@ -385,9 +594,11 @@ func (e *Engine) promptStep(seqs []*seqState) (StepBreakdown, []*seqState, error
 	batch := len(seqs)
 	bd.Scheduler = dev.SchedulerOverhead(batch)
 
+	// cached prefix tokens (prefix-cache hits) need no recompute: they
+	// shorten the prompt pass and the compressor's input
 	var tokens int
 	for _, st := range seqs {
-		tokens += st.req.PromptLen
+		tokens += st.req.PromptLen - st.cached
 	}
 
 	// model execution: tensor-parallel linear layers + prompt attention

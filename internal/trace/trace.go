@@ -16,13 +16,17 @@ import (
 // Kind classifies an event.
 type Kind string
 
-// Event kinds emitted by the serving engine.
+// Event kinds emitted by the serving engine and the cluster router.
 const (
 	KindAdmit      Kind = "admit"
 	KindPreempt    Kind = "preempt"
 	KindComplete   Kind = "complete"
 	KindPromptStep Kind = "prompt_step"
 	KindGenStep    Kind = "gen_step"
+	// KindDispatch is a router decision assigning a request to an
+	// instance; KindReject is a request shed by admission control.
+	KindDispatch Kind = "dispatch"
+	KindReject   Kind = "reject"
 )
 
 // Event is one traced occurrence.
@@ -36,6 +40,9 @@ type Event struct {
 	Batch int `json:"batch,omitempty"`
 	// DurUs is the step duration for step events (microseconds).
 	DurUs float64 `json:"dur_us,omitempty"`
+	// Inst is the 1-based serving-instance tag in cluster runs (0 for
+	// single-engine runs; see WithInstance).
+	Inst int `json:"inst,omitempty"`
 }
 
 // Tracer receives events. Implementations must be safe for concurrent use
@@ -127,6 +134,25 @@ func (c *Collector) Summarize() Summary {
 		}
 	}
 	return s
+}
+
+// instanceTracer stamps a fixed instance tag onto every event.
+type instanceTracer struct {
+	inner Tracer
+	inst  int
+}
+
+// Emit implements Tracer.
+func (t instanceTracer) Emit(e Event) {
+	e.Inst = t.inst
+	t.inner.Emit(e)
+}
+
+// WithInstance wraps a tracer so every emitted event carries the given
+// 1-based instance tag — the cluster simulator wraps its shared collector
+// once per serving instance so interleaved events stay attributable.
+func WithInstance(t Tracer, inst int) Tracer {
+	return instanceTracer{inner: t, inst: inst}
 }
 
 // WriteJSONL writes retained events as JSON lines.

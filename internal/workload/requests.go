@@ -11,6 +11,48 @@ type Request struct {
 	ArrivalUs float64 // arrival time in simulated microseconds
 	PromptLen int
 	GenLen    int
+	// PrefixGroup identifies a shared-prompt-prefix group (0 = unique
+	// prompt): requests in the same group share their first PrefixLen
+	// prompt tokens, e.g. a common system prompt or few-shot template.
+	PrefixGroup int
+	// PrefixLen is the number of leading prompt tokens shared with the
+	// group (<= PromptLen; 0 when PrefixGroup is 0).
+	PrefixLen int
+}
+
+// BlockHashes digests the request's prompt content into chained per-block
+// hashes, llm-d prefixhashtable style: block b's hash folds in block b-1's,
+// so two prompts produce identical hash prefixes exactly as long as their
+// token prefixes agree. Content is identified by PrefixGroup for shared
+// blocks and by request ID for the unique tail. blockSize <= 0 selects 64.
+func (r Request) BlockHashes(blockSize int) []uint64 {
+	if blockSize <= 0 {
+		blockSize = 64
+	}
+	n := (r.PromptLen + blockSize - 1) / blockSize
+	out := make([]uint64, 0, n)
+	h := uint64(14695981039346656037) // FNV-64 offset basis
+	for b := 0; b < n; b++ {
+		var ident uint64
+		if r.PrefixGroup != 0 && (b+1)*blockSize <= r.PrefixLen {
+			ident = uint64(r.PrefixGroup)<<1 | 1
+		} else {
+			ident = uint64(r.ID) << 1
+		}
+		h = fnvFold(fnvFold(h, ident), uint64(b))
+		out = append(out, h)
+	}
+	return out
+}
+
+// fnvFold mixes one 64-bit word into a running FNV-1a style hash.
+func fnvFold(h, v uint64) uint64 {
+	const prime = 1099511628211
+	for i := 0; i < 8; i++ {
+		h ^= (v >> (8 * i)) & 0xff
+		h *= prime
+	}
+	return h
 }
 
 // RequestGen samples serving requests from a benchmark profile: prompt and
@@ -95,5 +137,49 @@ func (g *RequestGen) Poisson(ratePerSec float64, seconds float64) []Request {
 			return out
 		}
 		out = append(out, g.Next(t))
+	}
+}
+
+// PrefixConfig parameterizes shared-prefix sampling: production traffic
+// concentrates on a handful of system prompts / few-shot templates, which
+// a prefix-affinity router can exploit.
+type PrefixConfig struct {
+	// Groups is the number of distinct shared prefixes in the workload.
+	Groups int
+	// PrefixLen is the token length of each shared prefix.
+	PrefixLen int
+	// SharedFrac is the probability a request belongs to some group
+	// (the rest carry fully unique prompts).
+	SharedFrac float64
+}
+
+// NextShared samples one request; with probability SharedFrac it joins a
+// uniformly drawn prefix group, its prompt beginning with the group's
+// PrefixLen-token shared prefix followed by a unique tail.
+func (g *RequestGen) NextShared(arrivalUs float64, pc PrefixConfig) Request {
+	r := g.Next(arrivalUs)
+	if pc.Groups > 0 && pc.PrefixLen > 0 && g.rng.Float64() < pc.SharedFrac {
+		r.PrefixGroup = 1 + g.rng.Intn(pc.Groups)
+		r.PrefixLen = pc.PrefixLen
+		if r.PromptLen < pc.PrefixLen+32 {
+			// always leave a unique tail after the shared prefix
+			r.PromptLen = pc.PrefixLen + 32
+		}
+	}
+	return r
+}
+
+// PoissonShared samples Poisson arrivals like Poisson, drawing each
+// request's prefix-group membership from pc.
+func (g *RequestGen) PoissonShared(ratePerSec, seconds float64, pc PrefixConfig) []Request {
+	var out []Request
+	t := 0.0
+	horizon := seconds * 1e6
+	for {
+		t += g.rng.Exp(ratePerSec) * 1e6
+		if t > horizon {
+			return out
+		}
+		out = append(out, g.NextShared(t, pc))
 	}
 }

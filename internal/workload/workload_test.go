@@ -220,3 +220,68 @@ func TestAccuracyNeverNegative(t *testing.T) {
 		}
 	}
 }
+
+func TestNextSharedPrefixGroups(t *testing.T) {
+	g := NewRequestGen(MMLU, 256, 9)
+	pc := PrefixConfig{Groups: 8, PrefixLen: 768, SharedFrac: 0.75}
+	shared, unique := 0, 0
+	for i := 0; i < 400; i++ {
+		r := g.NextShared(float64(i)*1e4, pc)
+		if r.PrefixGroup == 0 {
+			unique++
+			if r.PrefixLen != 0 {
+				t.Fatal("unique request carries a prefix length")
+			}
+			continue
+		}
+		shared++
+		if r.PrefixGroup < 1 || r.PrefixGroup > pc.Groups {
+			t.Fatalf("group %d out of range", r.PrefixGroup)
+		}
+		if r.PrefixLen != pc.PrefixLen {
+			t.Fatalf("prefix length %d, want %d", r.PrefixLen, pc.PrefixLen)
+		}
+		if r.PromptLen < r.PrefixLen+32 {
+			t.Fatalf("prompt %d leaves no unique tail after prefix %d", r.PromptLen, r.PrefixLen)
+		}
+	}
+	frac := float64(shared) / 400
+	if frac < 0.6 || frac > 0.9 {
+		t.Fatalf("shared fraction %v far from configured 0.75", frac)
+	}
+}
+
+func TestBlockHashesPrefixProperty(t *testing.T) {
+	a := Request{ID: 1, PromptLen: 512, PrefixGroup: 4, PrefixLen: 256}
+	b := Request{ID: 2, PromptLen: 512, PrefixGroup: 4, PrefixLen: 256}
+	c := Request{ID: 3, PromptLen: 512, PrefixGroup: 9, PrefixLen: 256}
+	ha, hb, hc := a.BlockHashes(64), b.BlockHashes(64), c.BlockHashes(64)
+	if len(ha) != 8 {
+		t.Fatalf("block count %d, want 8", len(ha))
+	}
+	// same group: identical hashes over the shared prefix (4 blocks)...
+	for i := 0; i < 4; i++ {
+		if ha[i] != hb[i] {
+			t.Fatalf("shared block %d hashes differ", i)
+		}
+	}
+	// ...then diverging unique tails, which never re-converge (chaining)
+	for i := 4; i < 8; i++ {
+		if ha[i] == hb[i] {
+			t.Fatalf("unique block %d hashes collide", i)
+		}
+	}
+	// different groups never share a block
+	for i := range hc {
+		if ha[i] == hc[i] {
+			t.Fatalf("cross-group block %d hashes collide", i)
+		}
+	}
+	// unique prompts hash deterministically
+	again := Request{ID: 1, PromptLen: 512, PrefixGroup: 4, PrefixLen: 256}.BlockHashes(64)
+	for i := range ha {
+		if ha[i] != again[i] {
+			t.Fatal("hashes not deterministic")
+		}
+	}
+}
