@@ -11,12 +11,10 @@ package diffkv
 import (
 	"testing"
 
-	"diffkv/internal/attention"
+	"diffkv/internal/benchkernels"
 	"diffkv/internal/experiments"
 	"diffkv/internal/kvcache"
 	"diffkv/internal/mathx"
-	"diffkv/internal/policy"
-	"diffkv/internal/quant"
 	"diffkv/internal/synth"
 )
 
@@ -54,45 +52,15 @@ func BenchmarkTable3ThinkingModels(b *testing.B)        { benchExperiment(b, "ta
 func BenchmarkClusterRouting(b *testing.B) { benchExperiment(b, "cluster-routing") }
 
 // --- kernel micro-benchmarks ---
+//
+// Bodies live in internal/benchkernels, shared with the diffkv-bench -json
+// perf snapshot so both measure identical workloads.
 
-func BenchmarkQuantizeK8(b *testing.B) {
-	rng := mathx.NewRNG(1)
-	src := make([]float32, 128)
-	rng.NormVec(src, 1)
-	dst := make([]byte, quant.PackedLen(128, 8))
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		quant.QuantizeInto(src, 8, dst)
-	}
-}
-
-func BenchmarkQuantizeV2(b *testing.B) {
-	rng := mathx.NewRNG(2)
-	src := make([]float32, 128)
-	rng.NormVec(src, 1)
-	dst := make([]byte, quant.PackedLen(128, 2))
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		quant.QuantizeInto(src, 2, dst)
-	}
-}
-
-func BenchmarkDequantDotK4(b *testing.B) {
-	rng := mathx.NewRNG(3)
-	k := make([]float32, 128)
-	q := make([]float32, 128)
-	rng.NormVec(k, 1)
-	rng.NormVec(q, 1)
-	data := make([]byte, quant.PackedLen(128, 4))
-	scale, zero := quant.QuantizeInto(k, 4, data)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		quant.DequantDot(q, data, 4, scale, zero)
-	}
-}
+func BenchmarkQuantizeK8(b *testing.B)          { benchkernels.QuantizeK8(b) }
+func BenchmarkQuantizeV2(b *testing.B)          { benchkernels.QuantizeV2(b) }
+func BenchmarkDequantDotK4(b *testing.B)        { benchkernels.DequantDotK4(b) }
+func BenchmarkDequantAxpyV2(b *testing.B)       { benchkernels.DequantAxpyV2(b) }
+func BenchmarkDequantDotSlotsPage(b *testing.B) { benchkernels.DequantDotSlotsPage(b) }
 
 func BenchmarkParallelExclusiveScan64K(b *testing.B) {
 	src := make([]int32, 65536)
@@ -125,65 +93,13 @@ func BenchmarkFreeListAllocBatch(b *testing.B) {
 	}
 }
 
-func BenchmarkCompressedAttention1K(b *testing.B) {
-	rng := mathx.NewRNG(5)
-	mgr, err := kvcache.NewManager(kvcache.Config{
-		Dim: 128, PageBytes: 8192, NumPages: 256, MaxSeqLen: 2048, Materialize: true,
-	})
-	if err != nil {
-		b.Fatal(err)
-	}
-	sc, _ := mgr.AddSequence(1, 1)
-	hc := sc.Heads[0]
-	k := make([]float32, 128)
-	v := make([]float32, 128)
-	for j := 0; j < 1024; j++ {
-		rng.NormVec(k, 1)
-		rng.NormVec(v, 1)
-		lvl := kvcache.LevelHi
-		if j%3 != 0 {
-			lvl = kvcache.LevelLo
-		}
-		if err := hc.AppendToken(lvl, k, v, 1, int32(j)); err != nil {
-			b.Fatal(err)
-		}
-	}
-	q := make([]float32, 128)
-	rng.NormVec(q, 1)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		attention.Compressed(q, hc, nil)
-	}
+func BenchmarkCompressedAttention1K(b *testing.B) { benchkernels.CompressedAttention1K(b) }
+
+func BenchmarkCompressedAttention1KScratch(b *testing.B) {
+	benchkernels.CompressedAttention1KScratch(b)
 }
 
-func BenchmarkGenPolicyStep(b *testing.B) {
-	rng := mathx.NewRNG(7)
-	mgr, err := kvcache.NewManager(kvcache.Config{
-		Dim: 128, PageBytes: 8192, NumPages: 4096, MaxSeqLen: 1 << 20, Materialize: true,
-	})
-	if err != nil {
-		b.Fatal(err)
-	}
-	sc, _ := mgr.AddSequence(1, 1)
-	hc := sc.Heads[0]
-	gp, err := policy.NewGenPolicy(policy.ParamsLlama3, 128, 4096)
-	if err != nil {
-		b.Fatal(err)
-	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		k := make([]float32, 128)
-		v := make([]float32, 128)
-		rng.NormVec(k, 1)
-		rng.NormVec(v, 1)
-		gp.Sig.Seed(i, float32(rng.Float64()*2))
-		if _, err := gp.Step(hc, k, v, int32(i)); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
+func BenchmarkGenPolicyStep(b *testing.B) { benchkernels.GenPolicyStep(b) }
 
 func BenchmarkSynthGenHead512(b *testing.B) {
 	rng := mathx.NewRNG(9)

@@ -5,7 +5,9 @@
 //	diffkv-bench -exp fig8            # one experiment
 //	diffkv-bench -exp all             # everything (slow)
 //	diffkv-bench -exp tab1 -fast      # reduced resolution
+//	diffkv-bench -exp all -workers 1  # force sequential execution
 //	diffkv-bench -list                # available experiment IDs
+//	diffkv-bench -json BENCH_PR2.json # perf snapshot (kernels + wall times)
 package main
 
 import (
@@ -21,12 +23,14 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "", "experiment id (fig2..fig17, tab1..tab3, or 'all')")
-		fast   = flag.Bool("fast", false, "reduced resolution / sample counts")
-		reps   = flag.Int("reps", 3, "repetitions per measurement")
-		seed   = flag.Uint64("seed", 42, "root random seed")
-		list   = flag.Bool("list", false, "list experiment ids")
-		format = flag.String("format", "text", "output format: text|csv|markdown")
+		exp     = flag.String("exp", "", "experiment id (fig2..fig17, tab1..tab3, or 'all')")
+		fast    = flag.Bool("fast", false, "reduced resolution / sample counts")
+		reps    = flag.Int("reps", 3, "repetitions per measurement")
+		seed    = flag.Uint64("seed", 42, "root random seed")
+		workers = flag.Int("workers", 0, "worker pool size (0 = NumCPU, 1 = sequential; output is identical)")
+		list    = flag.Bool("list", false, "list experiment ids")
+		format  = flag.String("format", "text", "output format: text|csv|markdown")
+		jsonOut = flag.String("json", "", "write a perf snapshot (kernel ns/op + per-experiment wall time) to this file")
 	)
 	flag.Parse()
 
@@ -34,8 +38,16 @@ func main() {
 		fmt.Println(strings.Join(experiments.IDs(), "\n"))
 		return
 	}
+	if *jsonOut != "" {
+		if err := writePerfJSON(*jsonOut, *seed, *workers); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote perf snapshot to %s\n", *jsonOut)
+		return
+	}
 	if *exp == "" {
-		fmt.Fprintln(os.Stderr, "usage: diffkv-bench -exp <id>|all [-fast] [-reps N] [-seed S]")
+		fmt.Fprintln(os.Stderr, "usage: diffkv-bench -exp <id>|all [-fast] [-reps N] [-seed S] [-workers W] | -json FILE")
 		os.Exit(2)
 	}
 
@@ -49,7 +61,7 @@ func main() {
 	if *exp == "all" {
 		ids = experiments.IDs()
 	}
-	opts := experiments.Opts{Reps: *reps, Fast: *fast, Seed: *seed}
+	opts := experiments.Opts{Reps: *reps, Fast: *fast, Seed: *seed, Workers: *workers}
 	for _, id := range ids {
 		start := time.Now()
 		tables, err := experiments.Run(id, opts)

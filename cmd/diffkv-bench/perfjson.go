@@ -1,0 +1,80 @@
+package main
+
+// Benchmark-regression harness: `diffkv-bench -json FILE` runs the kernel
+// micro-benchmarks (shared with bench_test.go via internal/benchkernels, so
+// both measure identical workloads) plus a wall-clock pass over the
+// fast-mode experiment suite and writes a machine-readable snapshot. The
+// checked-in BENCH_PR2.json pairs one such snapshot with the numbers
+// recorded before the page-granular kernel rewrite, giving this and future
+// PRs a perf trajectory to diff against.
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"diffkv/internal/benchkernels"
+	"diffkv/internal/experiments"
+)
+
+// KernelResult is one micro-benchmark measurement.
+type KernelResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// ExperimentResult is one experiment harness wall-time measurement
+// (fast mode, one rep).
+type ExperimentResult struct {
+	ID     string  `json:"id"`
+	WallMs float64 `json:"wall_ms"`
+}
+
+// PerfSnapshot is the full -json payload.
+type PerfSnapshot struct {
+	GoVersion   string             `json:"go_version"`
+	NumCPU      int                `json:"num_cpu"`
+	Workers     int                `json:"workers"`
+	Kernels     []KernelResult     `json:"kernels"`
+	Experiments []ExperimentResult `json:"experiments"`
+}
+
+// writePerfJSON runs the perf snapshot and writes it to path.
+func writePerfJSON(path string, seed uint64, workers int) error {
+	snap := PerfSnapshot{
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+		Workers:   workers,
+	}
+	for _, kb := range benchkernels.List() {
+		r := testing.Benchmark(kb.Fn)
+		snap.Kernels = append(snap.Kernels, KernelResult{
+			Name:        kb.Name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		})
+	}
+	for _, id := range experiments.IDs() {
+		start := time.Now()
+		if _, err := experiments.Run(id, experiments.Opts{
+			Fast: true, Reps: 1, Seed: seed, Workers: workers,
+		}); err != nil {
+			return err
+		}
+		snap.Experiments = append(snap.Experiments, ExperimentResult{
+			ID:     id,
+			WallMs: float64(time.Since(start).Microseconds()) / 1e3,
+		})
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	return os.WriteFile(path, data, 0o644)
+}

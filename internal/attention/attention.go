@@ -8,8 +8,6 @@
 package attention
 
 import (
-	"math"
-
 	"diffkv/internal/kvcache"
 	"diffkv/internal/mathx"
 	"diffkv/internal/policy"
@@ -36,113 +34,31 @@ type Result struct {
 
 // Reference computes exact attention of query q over uncompressed keys and
 // values — the FP16 baseline. keys and vals must have equal length.
+// Convenience wrapper allocating a fresh Scratch; hot paths hold their own
+// Scratch and call its methods directly.
 func Reference(q []float32, keys, vals [][]float32) Result {
-	n := len(keys)
-	dim := len(q)
-	logits := make([]float32, n)
-	invSqrt := float32(1 / math.Sqrt(float64(dim)))
-	for j := 0; j < n; j++ {
-		logits[j] = mathx.Dot(q, keys[j]) * invSqrt
-	}
-	weights := mathx.Softmax(logits, logits)
-	out := make([]float32, dim)
-	tw := make([]TokenWeight, n)
-	for j := 0; j < n; j++ {
-		mathx.Axpy(weights[j], vals[j], out)
-		tw[j] = TokenWeight{Pos: int32(j), Weight: weights[j]}
-	}
-	return Result{
-		Output:    out,
-		Weights:   tw,
-		BytesRead: n * quant.FP16.TokenBytes(dim),
-	}
+	var s Scratch
+	return s.Reference(q, keys, vals)
 }
 
 // Uniform computes attention with every key/value quantized at one
 // precision — the uniform-quantization ablation of Fig. 8 (K8V4, K4V8,
 // K8V2, K4V2, K2V4, K4V1 applied to all tokens). Quantization is performed
-// per vector exactly as the cache would store it.
+// per vector exactly as the cache would store it. Convenience wrapper over
+// Scratch.Uniform.
 func Uniform(q []float32, keys, vals [][]float32, prec quant.Precision) Result {
-	n := len(keys)
-	dim := len(q)
-	logits := make([]float32, n)
-	invSqrt := float32(1 / math.Sqrt(float64(dim)))
-	kbuf := make([]byte, quant.PackedLen(dim, prec.KeyBits))
-	vbuf := make([]byte, quant.PackedLen(dim, prec.ValBits))
-	vmeta := make([][2]float32, n)
-	vdata := make([][]byte, n)
-	for j := 0; j < n; j++ {
-		ks, kz := quant.QuantizeInto(keys[j], prec.KeyBits, kbuf)
-		logits[j] = quant.DequantDot(q, kbuf, prec.KeyBits, ks, kz) * invSqrt
-		vs, vz := quant.QuantizeInto(vals[j], prec.ValBits, vbuf)
-		vmeta[j] = [2]float32{vs, vz}
-		vdata[j] = append([]byte(nil), vbuf...)
-	}
-	weights := mathx.Softmax(logits, logits)
-	out := make([]float32, dim)
-	tw := make([]TokenWeight, n)
-	for j := 0; j < n; j++ {
-		quant.DequantAxpy(weights[j], vdata[j], prec.ValBits, dim, vmeta[j][0], vmeta[j][1], out)
-		tw[j] = TokenWeight{Pos: int32(j), Weight: weights[j]}
-	}
-	return Result{
-		Output:    out,
-		Weights:   tw,
-		BytesRead: n * prec.TokenBytes(dim),
-	}
+	var s Scratch
+	return s.Uniform(q, keys, vals, prec)
 }
 
 // Compressed computes attention over a DiffKV head cache plus the
 // uncompressed recent window. High-precision pages are processed first,
 // then low-precision pages, then the window (which the real kernel reads
-// from the high-precision tier).
+// from the high-precision tier). Convenience wrapper over
+// Scratch.Compressed.
 func Compressed(q []float32, hc *kvcache.HeadCache, window []policy.WindowToken) Result {
-	dim := len(q)
-	invSqrt := float32(1 / math.Sqrt(float64(dim)))
-
-	type ref struct {
-		page *kvcache.Page
-		slot int
-	}
-	var refs []ref
-	var logits []float32
-	var positions []int32
-	bytes := 0
-
-	collect := func(level kvcache.Level) {
-		hc.ForEachToken(level, func(p *kvcache.Page, slot int) {
-			kd, ks, kz := p.KeyData(slot)
-			logits = append(logits, quant.DequantDot(q, kd, p.Prec.KeyBits, ks, kz)*invSqrt)
-			refs = append(refs, ref{p, slot})
-			positions = append(positions, p.Position(slot))
-			bytes += p.Prec.TokenBytes(dim)
-		})
-	}
-	collect(kvcache.LevelHi)
-	collect(kvcache.LevelLo)
-
-	for _, w := range window {
-		logits = append(logits, mathx.Dot(q, w.Key)*invSqrt)
-		refs = append(refs, ref{nil, 0})
-		positions = append(positions, w.Pos)
-		bytes += quant.FP16.TokenBytes(dim)
-	}
-
-	weights := mathx.Softmax(logits, logits)
-	out := make([]float32, dim)
-	tw := make([]TokenWeight, len(weights))
-	wi := 0
-	for j, r := range refs {
-		if r.page != nil {
-			vd, vs, vz := r.page.ValData(r.slot)
-			quant.DequantAxpy(weights[j], vd, r.page.Prec.ValBits, dim, vs, vz, out)
-		} else {
-			mathx.Axpy(weights[j], window[wi].Val, out)
-			wi++
-		}
-		tw[j] = TokenWeight{Pos: positions[j], Weight: weights[j]}
-	}
-	return Result{Output: out, Weights: tw, BytesRead: bytes}
+	var s Scratch
+	return s.Compressed(q, hc, window)
 }
 
 // OutputError returns the relative L2 error of a compressed attention
@@ -153,13 +69,19 @@ func OutputError(compressed, reference []float32) float64 {
 }
 
 // MaxAggregate folds per-query-head weights into per-position significance
-// scores using the max operation across the GQA group (paper §4), then
-// returns position → score.
-func MaxAggregate(results []Result) map[int32]float32 {
-	agg := make(map[int32]float32)
+// scores using the max operation across the GQA group (paper §4). maxPos is
+// the exclusive upper bound on token positions (callers track the sequence
+// length); the returned slice is indexed by position, with 0 for positions
+// no result touched. Using a position-indexed slice instead of a map keeps
+// the score-aggregation path free of hashing and map churn.
+func MaxAggregate(results []Result, maxPos int) []float32 {
+	if maxPos < 0 {
+		maxPos = 0
+	}
+	agg := make([]float32, maxPos)
 	for _, r := range results {
 		for _, tw := range r.Weights {
-			if cur, ok := agg[tw.Pos]; !ok || tw.Weight > cur {
+			if tw.Weight > agg[tw.Pos] {
 				agg[tw.Pos] = tw.Weight
 			}
 		}

@@ -238,14 +238,17 @@ func TestCompressedBytesReflectTiers(t *testing.T) {
 func TestMaxAggregate(t *testing.T) {
 	r1 := Result{Weights: []TokenWeight{{Pos: 0, Weight: 0.3}, {Pos: 1, Weight: 0.7}}}
 	r2 := Result{Weights: []TokenWeight{{Pos: 0, Weight: 0.5}, {Pos: 1, Weight: 0.2}}}
-	agg := MaxAggregate([]Result{r1, r2})
+	agg := MaxAggregate([]Result{r1, r2}, 3)
 	if agg[0] != 0.5 || agg[1] != 0.7 {
 		t.Fatalf("agg = %v", agg)
+	}
+	if agg[2] != 0 {
+		t.Fatalf("untouched position should score 0, got %v", agg[2])
 	}
 }
 
 func TestMaxAggregateEmpty(t *testing.T) {
-	if len(MaxAggregate(nil)) != 0 {
+	if len(MaxAggregate(nil, 0)) != 0 {
 		t.Fatal("empty aggregate should be empty")
 	}
 }

@@ -226,20 +226,24 @@ func (e *Engine) runHead(layer, head, promptLen, genLen, total, dim int, root *m
 	run := headRun{}
 	expScores := newIncrementalScores(data.Logits)
 	boost := float32(synth.GQAMaxBoost(model.QueriesPerKV))
+	// kernel scratch reused across every probe of this head (one for the
+	// compressed path, one for the reference, so both outputs stay live)
+	var scComp, scRef attention.Scratch
+	wbuf := make([]float32, total)
 	for t := promptLen; t < total; t++ {
 		// significance update: attention weights over the prefix,
 		// observed from the substrate's incremental softmax (cheap path);
 		// probes below use the real kernels. Scores are normalized by the
 		// prefix length (see policy package docs) and inflated by the GQA
 		// max-aggregation factor, matching the prompt-phase measurement.
-		weights := expScores.weights(t)
+		weights := expScores.weightsInto(t, wbuf)
 		for pos, w := range weights {
 			gp.Sig.Add(pos, w*float32(t)*boost)
 		}
 
 		step := t - promptLen
 		if step%cfg.ProbeEvery == 0 {
-			probeErr, memFrac := e.probe(data, hc, gp, t, dim, reqRNG.SplitAt(3000+uint64(t)))
+			probeErr, memFrac := e.probe(data, hc, gp, &scComp, &scRef, t, dim, reqRNG.SplitAt(3000+uint64(t)))
 			run.errSum += probeErr
 			run.memSum += memFrac
 			run.probes++
@@ -260,16 +264,18 @@ func (e *Engine) runHead(layer, head, promptLen, genLen, total, dim int, root *m
 }
 
 // probe measures real compressed-vs-reference attention error and the
-// instantaneous memory fraction at step t.
-func (e *Engine) probe(data *synth.HeadData, hc *kvcache.HeadCache, gp *policy.GenPolicy, t, dim int, rng *mathx.RNG) (outErr, memFrac float64) {
+// instantaneous memory fraction at step t. scComp and scRef are the
+// caller's reusable kernel scratches (separate so both outputs stay valid
+// for the error computation).
+func (e *Engine) probe(data *synth.HeadData, hc *kvcache.HeadCache, gp *policy.GenPolicy, scComp, scRef *attention.Scratch, t, dim int, rng *mathx.RNG) (outErr, memFrac float64) {
 	group := e.cfg.Model.QueriesPerKV
 	if group > 4 {
 		group = 4 // probing more query heads adds cost, not information
 	}
 	for g := 0; g < group; g++ {
 		q := data.Query(rng)
-		comp := attention.Compressed(q, hc, gp.Window())
-		ref := attention.Reference(q, data.Keys[:t], data.Vals[:t])
+		comp := scComp.Compressed(q, hc, gp.Window())
+		ref := scRef.Reference(q, data.Keys[:t], data.Vals[:t])
 		outErr += attention.OutputError(comp.Output, ref.Output)
 	}
 	outErr /= float64(group)
@@ -300,9 +306,10 @@ func newIncrementalScores(logits []float32) *incrementalScores {
 	return s
 }
 
-// weights returns the attention distribution of the token at position t
-// over positions [0, t).
-func (s *incrementalScores) weights(t int) map[int]float32 {
+// weightsInto writes the attention distribution of the token at position t
+// over positions [0, t) into dst and returns dst[:t]. dst must have at
+// least t capacity; the caller reuses one buffer across steps.
+func (s *incrementalScores) weightsInto(t int, dst []float32) []float32 {
 	if t <= 0 {
 		return nil
 	}
@@ -313,7 +320,7 @@ func (s *incrementalScores) weights(t int) map[int]float32 {
 	for _, e := range s.exps[:t] {
 		sum += e
 	}
-	out := make(map[int]float32, t)
+	out := dst[:t]
 	inv := 1 / sum
 	for j := 0; j < t; j++ {
 		out[j] = float32(s.exps[j] * inv)

@@ -173,7 +173,8 @@ func TestSamplePoints(t *testing.T) {
 func TestIncrementalScoresMatchSoftmax(t *testing.T) {
 	logits := []float32{1, -2, 3, 0.5}
 	s := newIncrementalScores(logits)
-	w := s.weights(3)
+	buf := make([]float32, len(logits))
+	w := s.weightsInto(3, buf)
 	// manual softmax over first 3
 	e1, e2, e3 := math.Exp(1), math.Exp(-2), math.Exp(3)
 	sum := e1 + e2 + e3
@@ -183,11 +184,11 @@ func TestIncrementalScoresMatchSoftmax(t *testing.T) {
 	if math.Abs(float64(w[2])-e3/sum) > 1e-6 {
 		t.Fatalf("weight[2] = %v", w[2])
 	}
-	if s.weights(0) != nil {
+	if s.weightsInto(0, buf) != nil {
 		t.Fatal("empty prefix should be nil")
 	}
 	// t beyond length clamps
-	if len(s.weights(100)) != 4 {
+	if len(s.weightsInto(100, buf)) != 4 {
 		t.Fatal("clamp failed")
 	}
 }

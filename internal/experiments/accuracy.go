@@ -15,27 +15,28 @@ import (
 // evalBaseline measures a baseline method's (error, memory) on a
 // (model, benchmark) pair across several heads, then maps through the
 // accuracy model.
-func evalBaseline(m baselines.Method, model *synth.ModelConfig, bench *workload.Benchmark, reps int, seed uint64) (acc, mem float64) {
+func evalBaseline(m baselines.Method, model *synth.ModelConfig, bench *workload.Benchmark, reps int, seed uint64, o Opts) (acc, mem float64) {
 	promptLen, genLen := bench.EvalLen()
 	n := promptLen + genLen
 	root := mathx.NewRNG(seed)
-	errs := make([]float64, 0, reps)
-	var memSum float64
-	for rep := 0; rep < reps; rep++ {
+	errs := make([]float64, reps)
+	mems := make([]float64, reps)
+	o.forEach(reps, func(rep int) {
+		method := m
 		rng := root.SplitAt(uint64(rep))
 		prof := synth.Profile(model, (rep*11)%model.Layers, rep%model.KVHeads, bench.DensityScale, rng)
 		data := synth.GenHead(model, prof, n, rng.SplitAt(1))
 		sig := data.CheapSignificance(model, rng.SplitAt(2))
 		// SnapKV needs the prompt boundary
-		if sk, ok := m.(baselines.SnapKV); ok {
+		if sk, ok := method.(baselines.SnapKV); ok {
 			sk.PromptLen = promptLen
-			m = sk
+			method = sk
 		}
-		r := m.Evaluate(model, data, sig, 8, rng.SplitAt(3))
-		errs = append(errs, r.OutputErr)
-		memSum += r.MemFrac
-	}
-	memSum /= float64(reps)
+		r := method.Evaluate(model, data, sig, 8, rng.SplitAt(3))
+		errs[rep] = r.OutputErr
+		mems[rep] = r.MemFrac
+	})
+	memSum := meanOf(mems)
 	// Heads are complementary: a method that ruins some heads (e.g.
 	// DuoAttention's misclassified streaming heads) breaks the model even
 	// if other heads are exact, so the cross-head aggregate blends the
@@ -51,7 +52,9 @@ func evalBaseline(m baselines.Method, model *synth.ModelConfig, bench *workload.
 }
 
 // evalDiffKV runs the full DiffKV engine for a (model, benchmark) pair.
-func evalDiffKV(model *synth.ModelConfig, bench *workload.Benchmark, params policy.Params, seqs int, seed uint64) (acc, mem float64, bd policy.Breakdown) {
+// Sequences fan out across the worker pool; the reduction stays in sequence
+// order.
+func evalDiffKV(model *synth.ModelConfig, bench *workload.Benchmark, params policy.Params, seqs int, seed uint64, o Opts) (acc, mem float64, bd policy.Breakdown) {
 	promptLen, genLen := bench.EvalLen()
 	eng, err := core.NewEngine(core.Config{
 		Model: model, Params: params, DensityScale: bench.DensityScale, Seed: seed,
@@ -59,12 +62,16 @@ func evalDiffKV(model *synth.ModelConfig, bench *workload.Benchmark, params poli
 	if err != nil {
 		panic(err)
 	}
-	var errSum, memSum float64
-	for s := 0; s < seqs; s++ {
+	results := make([]core.SequenceResult, seqs)
+	o.forEach(seqs, func(s int) {
 		r, err := eng.RunSequence(promptLen, genLen, uint64(s)+1)
 		if err != nil {
 			panic(err)
 		}
+		results[s] = r
+	})
+	var errSum, memSum float64
+	for _, r := range results {
 		errSum += r.OutputErr
 		memSum += r.MemFrac
 		bd.High += r.Breakdown.High
@@ -106,10 +113,10 @@ func Table1(o Opts) []*Table {
 				continue
 			}
 			row := []string{bench.Name, f1(fp16)}
-			dAcc, dMem, _ := evalDiffKV(model, bench, params, o.Reps, o.Seed+seedOf("t1", model.Name, bench.Name))
+			dAcc, dMem, _ := evalDiffKV(model, bench, params, o.Reps, o.Seed+seedOf("t1", model.Name, bench.Name), o)
 			row = append(row, fmt.Sprintf("%s (%s)", f1(dAcc), pct(dMem)))
 			for _, m := range methods {
-				acc, _ := evalBaseline(m, model, bench, 2*o.Reps, o.Seed+seedOf("t1", model.Name, bench.Name, m.Name()))
+				acc, _ := evalBaseline(m, model, bench, 2*o.Reps, o.Seed+seedOf("t1", model.Name, bench.Name, m.Name()), o)
 				row = append(row, f1(acc))
 			}
 			t.AddRow(row...)
@@ -140,9 +147,9 @@ func Table2(o Opts) []*Table {
 			if !ok {
 				continue
 			}
-			dAcc, dMem, _ := evalDiffKV(model, bench, params, o.Reps, o.Seed+seedOf("t2", model.Name, bench.Name))
-			qAcc, _ := evalBaseline(baselines.Quest{Budget: 0.25}, model, bench, 2*o.Reps, o.Seed+seedOf("t2q", model.Name, bench.Name))
-			sAcc, _ := evalBaseline(baselines.SnapKV{Budget: 0.25}, model, bench, 2*o.Reps, o.Seed+seedOf("t2s", model.Name, bench.Name))
+			dAcc, dMem, _ := evalDiffKV(model, bench, params, o.Reps, o.Seed+seedOf("t2", model.Name, bench.Name), o)
+			qAcc, _ := evalBaseline(baselines.Quest{Budget: 0.25}, model, bench, 2*o.Reps, o.Seed+seedOf("t2q", model.Name, bench.Name), o)
+			sAcc, _ := evalBaseline(baselines.SnapKV{Budget: 0.25}, model, bench, 2*o.Reps, o.Seed+seedOf("t2s", model.Name, bench.Name), o)
 			t.AddRow(bench.Name, f1(fp16),
 				fmt.Sprintf("%s (%s)", f1(dAcc), pct(dMem)), f1(qAcc), f1(sAcc))
 		}
@@ -179,10 +186,10 @@ func Table3(o Opts) []*Table {
 				continue
 			}
 			row := []string{bench.Name, f1(fp16)}
-			dAcc, dMem, _ := evalDiffKV(model, bench, params, o.Reps, o.Seed+seedOf("t3", model.Name, bench.Name))
+			dAcc, dMem, _ := evalDiffKV(model, bench, params, o.Reps, o.Seed+seedOf("t3", model.Name, bench.Name), o)
 			row = append(row, fmt.Sprintf("%s (%s)", f1(dAcc), pct(dMem)))
 			for _, m := range methods {
-				acc, _ := evalBaseline(m, model, bench, 2*o.Reps, o.Seed+seedOf("t3", model.Name, bench.Name, m.Name()))
+				acc, _ := evalBaseline(m, model, bench, 2*o.Reps, o.Seed+seedOf("t3", model.Name, bench.Name, m.Name()), o)
 				row = append(row, f1(acc))
 			}
 			t.AddRow(row...)
@@ -232,14 +239,14 @@ func Fig11(o Opts) []*Table {
 		for _, ah := range alphas {
 			params := base
 			params.AlphaH = ah
-			acc, mem, _ := evalDiffKV(p.model, p.bench, params, o.Reps, o.Seed+seedOf("f11", p.model.Name, p.bench.Name))
+			acc, mem, _ := evalDiffKV(p.model, p.bench, params, o.Reps, o.Seed+seedOf("f11", p.model.Name, p.bench.Name), o)
 			t.AddRow(fmt.Sprintf("DiffKV(αh=%.0f)", ah), pct(mem), f1(acc))
 		}
 		for _, m := range []baselines.Method{
 			baselines.KIVI{}, baselines.INT4Atom{}, baselines.SnapKV{},
 			baselines.DuoAttention{}, baselines.Quest{}, baselines.H2O{},
 		} {
-			acc, mem := evalBaseline(m, p.model, p.bench, 2*o.Reps, o.Seed+seedOf("f11", p.model.Name, p.bench.Name, m.Name()))
+			acc, mem := evalBaseline(m, p.model, p.bench, 2*o.Reps, o.Seed+seedOf("f11", p.model.Name, p.bench.Name, m.Name()), o)
 			t.AddRow(m.Name(), pct(mem), f1(acc))
 		}
 		out = append(out, t)
@@ -265,7 +272,7 @@ func Fig12(o Opts) []*Table {
 	for _, model := range models {
 		params := policy.ParamsForModel(model.Name)
 		for _, bench := range benches {
-			_, _, bd := evalDiffKV(model, bench, params, o.Reps, o.Seed+seedOf("f12", model.Name, bench.Name))
+			_, _, bd := evalDiffKV(model, bench, params, o.Reps, o.Seed+seedOf("f12", model.Name, bench.Name), o)
 			t.AddRow(model.Name, bench.Name, pct(bd.Pruned), pct(bd.Low), pct(bd.High))
 		}
 	}

@@ -42,35 +42,42 @@ func ClusterRouting(o Opts) []*Table {
 				"tpot-p95(s)", "goodput(req/s)", "util", "imbalance", "hit-frac", "shed"},
 			Notes: "prefix-affinity keeps shared prefixes hot on their affine instance",
 		}
-		for _, rate := range rates {
-			for _, policy := range cluster.Policies() {
-				cfg := cluster.Config{
-					Instances:     4,
-					Policy:        policy,
-					MaxQueueDepth: 128,
-					Seed:          o.Seed,
-				}
-				cfg.Engine.Model = synth.Llama3_8B
-				cfg.Engine.Cluster = gpusim.NewCluster(gpusim.L40(), 1)
-				cfg.Engine.Traits = method.traits
-				cfg.Engine.MaxGenLen = 256
-				cfg.Engine.PrefixCacheGroups = 8
-				c, err := cluster.New(cfg)
-				if err != nil {
-					panic(err)
-				}
-				reqs := workload.NewRequestGen(workload.MMLU, 256, o.Seed+seedOf(method.name)+uint64(rate*10)).
-					PoissonShared(rate, horizon, pc)
-				m, err := c.Run(reqs)
-				if err != nil {
-					panic(err)
-				}
-				t.AddRow(f1(rate), policy,
-					f3(m.TTFT.P50), f3(m.TTFT.P95), f3(m.TPOT.P95),
-					f2(m.GoodputReqPerSec), pct(m.MeanUtilization),
-					f3(m.LoadImbalanceCV), pct(m.PrefixCacheHitFrac),
-					fmt.Sprintf("%d", m.Rejected))
+		// every (rate, policy) cell is an independent cluster simulation:
+		// fan the grid out across the worker pool, emit rows in grid order
+		policies := cluster.Policies()
+		metrics := make([]cluster.Metrics, len(rates)*len(policies))
+		o.forEach(len(metrics), func(i int) {
+			rate := rates[i/len(policies)]
+			policy := policies[i%len(policies)]
+			cfg := cluster.Config{
+				Instances:     4,
+				Policy:        policy,
+				MaxQueueDepth: 128,
+				Seed:          o.Seed,
 			}
+			cfg.Engine.Model = synth.Llama3_8B
+			cfg.Engine.Cluster = gpusim.NewCluster(gpusim.L40(), 1)
+			cfg.Engine.Traits = method.traits
+			cfg.Engine.MaxGenLen = 256
+			cfg.Engine.PrefixCacheGroups = 8
+			c, err := cluster.New(cfg)
+			if err != nil {
+				panic(err)
+			}
+			reqs := workload.NewRequestGen(workload.MMLU, 256, o.Seed+seedOf(method.name)+uint64(rate*10)).
+				PoissonShared(rate, horizon, pc)
+			m, err := c.Run(reqs)
+			if err != nil {
+				panic(err)
+			}
+			metrics[i] = m
+		})
+		for i, m := range metrics {
+			t.AddRow(f1(rates[i/len(policies)]), policies[i%len(policies)],
+				f3(m.TTFT.P50), f3(m.TTFT.P95), f3(m.TPOT.P95),
+				f2(m.GoodputReqPerSec), pct(m.MeanUtilization),
+				f3(m.LoadImbalanceCV), pct(m.PrefixCacheHitFrac),
+				fmt.Sprintf("%d", m.Rejected))
 		}
 		out = append(out, t)
 	}

@@ -15,19 +15,21 @@ import (
 
 // uniformErr measures the mean attention-output error of one uniform
 // precision configuration on a model under a benchmark's sparsity profile.
-func uniformErr(model *synth.ModelConfig, bench *workload.Benchmark, prec quant.Precision, reps int, root *mathx.RNG) float64 {
+// Reps fan out across o's worker pool; each rep derives its own RNG stream.
+func uniformErr(model *synth.ModelConfig, bench *workload.Benchmark, prec quant.Precision, reps int, root *mathx.RNG, o Opts) float64 {
 	n := 384
-	var sum float64
-	for rep := 0; rep < reps; rep++ {
+	errs := make([]float64, reps)
+	o.forEach(reps, func(rep int) {
 		rng := root.SplitAt(uint64(rep))
 		prof := synth.Profile(model, (rep*7)%model.Layers, rep%model.KVHeads, bench.DensityScale, rng)
 		h := synth.GenHead(model, prof, n, rng.SplitAt(1))
 		q := h.Query(rng)
+		var sc attention.Scratch
 		ref := attention.Reference(q, h.Keys, h.Vals)
-		res := attention.Uniform(q, h.Keys, h.Vals, prec)
-		sum += attention.OutputError(res.Output, ref.Output)
-	}
-	return sum / float64(reps)
+		res := sc.Uniform(q, h.Keys, h.Vals, prec)
+		errs[rep] = attention.OutputError(res.Output, ref.Output)
+	})
+	return meanOf(errs)
 }
 
 // Fig8 reproduces "Accuracy of differentiated KV quantization": FP16 vs
@@ -56,7 +58,7 @@ func Fig8(o Opts) []*Table {
 			for _, p := range precs {
 				e := 0.0
 				if p != quant.FP16 {
-					e = uniformErr(model, bench, p, reps, root.SplitAt(seedOf(model.Name, bench.Name, p.String())))
+					e = uniformErr(model, bench, p, reps, root.SplitAt(seedOf(model.Name, bench.Name, p.String())), o)
 				}
 				row = append(row, f1(bench.Accuracy(model.Name, e)))
 			}
@@ -115,8 +117,11 @@ func Fig9(o Opts) []*Table {
 				Notes:  "dynamic per-head budgets dominate uniform budgets",
 			}
 			for _, frac := range fracs {
-				var dynErrs, statErrs []float64
-				for rep := 0; rep < reps; rep++ {
+				// reps fan out across the worker pool; per-rep results land
+				// in their own buckets and are concatenated in rep order
+				repDyn := make([][]float64, reps)
+				repStat := make([][]float64, reps)
+				o.forEach(reps, func(rep int) {
 					rng := root.SplitAt(seedOf(model.Name, bench.Name) + uint64(rep))
 					// one request: heads spanning sparse to dense profiles
 					hs := make([]headEval, heads)
@@ -144,11 +149,16 @@ func Fig9(o Opts) []*Table {
 							dSum += dSamples[pr]
 							sSum += sSamples[pr]
 						}
-						dynErrs = append(dynErrs,
+						repDyn[rep] = append(repDyn[rep],
 							0.5*dSum/float64(probes)+0.5*stats.Quantile(dSamples, 0.9))
-						statErrs = append(statErrs,
+						repStat[rep] = append(repStat[rep],
 							0.5*sSum/float64(probes)+0.5*stats.Quantile(sSamples, 0.9))
 					}
+				})
+				var dynErrs, statErrs []float64
+				for rep := 0; rep < reps; rep++ {
+					dynErrs = append(dynErrs, repDyn[rep]...)
+					statErrs = append(statErrs, repStat[rep]...)
 				}
 				blend := func(errs []float64) float64 {
 					var mean float64
@@ -306,7 +316,7 @@ func Fig10(o Opts) []*Table {
 			} else {
 				params.AlphaL = v
 			}
-			acc, mem := diffKVAccuracy(p.model, bench, params, promptLen, genLen, seqs, o.Seed+10)
+			acc, mem := diffKVAccuracy(p.model, bench, params, promptLen, genLen, seqs, o.Seed+10, o)
 			mark := ""
 			if v == p.chosen {
 				mark = "<- chosen"
@@ -319,8 +329,9 @@ func Fig10(o Opts) []*Table {
 }
 
 // diffKVAccuracy runs the full DiffKV engine on a benchmark profile and
-// maps the measured error through the benchmark's accuracy model.
-func diffKVAccuracy(model *synth.ModelConfig, bench *workload.Benchmark, params policy.Params, promptLen, genLen, seqs int, seed uint64) (acc, mem float64) {
+// maps the measured error through the benchmark's accuracy model. Sequences
+// fan out across the worker pool (the engine is stateless across runs).
+func diffKVAccuracy(model *synth.ModelConfig, bench *workload.Benchmark, params policy.Params, promptLen, genLen, seqs int, seed uint64, o Opts) (acc, mem float64) {
 	eng, err := core.NewEngine(core.Config{
 		Model: model, Params: params,
 		DensityScale: bench.DensityScale,
@@ -329,16 +340,15 @@ func diffKVAccuracy(model *synth.ModelConfig, bench *workload.Benchmark, params 
 	if err != nil {
 		panic(err)
 	}
-	var errSum, memSum float64
-	for s := 0; s < seqs; s++ {
+	errs := make([]float64, seqs)
+	mems := make([]float64, seqs)
+	o.forEach(seqs, func(s int) {
 		r, err := eng.RunSequence(promptLen, genLen, uint64(s)+1)
 		if err != nil {
 			panic(err)
 		}
-		errSum += r.OutputErr
-		memSum += r.MemFrac
-	}
-	errSum /= float64(seqs)
-	memSum /= float64(seqs)
-	return bench.Accuracy(model.Name, errSum), memSum
+		errs[s] = r.OutputErr
+		mems[s] = r.MemFrac
+	})
+	return bench.Accuracy(model.Name, meanOf(errs)), meanOf(mems)
 }

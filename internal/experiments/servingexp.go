@@ -101,38 +101,42 @@ func Fig16(o Opts) []*Table {
 			Notes:  "DiffKV sustains higher load before queueing blows up",
 		}
 		gpus := gpusFor(p.model)
-		for _, rate := range p.rates {
-			row := []string{f2(rate)}
-			for _, diff := range []bool{false, true} {
-				reqs := workload.NewRequestGen(workload.GSM8K, 1024, o.Seed+seedOf(p.model.Name)+uint64(rate*100)).
-					Poisson(rate, horizon)
-				cfg := serving.Config{
-					Model: p.model, Cluster: gpusim.NewCluster(gpusim.L40(), gpus),
-					Traits: baselines.TraitsVLLM, Seed: o.Seed,
-				}
-				if diff {
-					// traits-mode DiffKV: at saturation the page manager's
-					// per-step bookkeeping dominates harness runtime while
-					// its simulated time contribution is <1% (Fig. 14);
-					// capacity and bandwidth effects are what Fig. 16
-					// measures.
-					cfg.Traits = baselines.TraitsDiffKV(0.3)
-				}
-				eng, err := serving.NewEngine(cfg)
-				if err != nil {
-					panic(err)
-				}
-				res, err := eng.Run(reqs)
-				if err != nil {
-					panic(err)
-				}
-				if res.Completed == 0 {
-					row = append(row, "-")
-				} else {
-					row = append(row, f3(res.AvgPerTokenLatency))
-				}
+		// every (rate, system) run is an independent simulation: fan the
+		// whole grid out across the worker pool, then emit rows in order
+		cells := make([]string, 2*len(p.rates))
+		o.forEach(len(cells), func(i int) {
+			rate := p.rates[i/2]
+			diff := i%2 == 1
+			reqs := workload.NewRequestGen(workload.GSM8K, 1024, o.Seed+seedOf(p.model.Name)+uint64(rate*100)).
+				Poisson(rate, horizon)
+			cfg := serving.Config{
+				Model: p.model, Cluster: gpusim.NewCluster(gpusim.L40(), gpus),
+				Traits: baselines.TraitsVLLM, Seed: o.Seed,
 			}
-			t.AddRow(row...)
+			if diff {
+				// traits-mode DiffKV: at saturation the page manager's
+				// per-step bookkeeping dominates harness runtime while
+				// its simulated time contribution is <1% (Fig. 14);
+				// capacity and bandwidth effects are what Fig. 16
+				// measures.
+				cfg.Traits = baselines.TraitsDiffKV(0.3)
+			}
+			eng, err := serving.NewEngine(cfg)
+			if err != nil {
+				panic(err)
+			}
+			res, err := eng.Run(reqs)
+			if err != nil {
+				panic(err)
+			}
+			if res.Completed == 0 {
+				cells[i] = "-"
+			} else {
+				cells[i] = f3(res.AvgPerTokenLatency)
+			}
+		})
+		for ri, rate := range p.rates {
+			t.AddRow(f2(rate), cells[2*ri], cells[2*ri+1])
 		}
 		out = append(out, t)
 	}
@@ -205,12 +209,24 @@ func Fig17(o Opts) []*Table {
 			}
 			return res
 		}
-		vllm := runOne(baselines.TraitsVLLM, false)
-		quest := runOne(baselines.TraitsQuest, false)
-		snap := runOne(baselines.TraitsSnapKV, false)
-		atom := runOne(baselines.TraitsAtom, false)
-		kivi := runOne(baselines.TraitsKIVI, false)
-		diff := runOne(baselines.TraitsDiffKV(0.28), true)
+		// the six systems are independent simulations: fan out, fixed slots
+		systems := []struct {
+			traits baselines.ServingTraits
+			useMgr bool
+		}{
+			{baselines.TraitsVLLM, false},
+			{baselines.TraitsQuest, false},
+			{baselines.TraitsSnapKV, false},
+			{baselines.TraitsAtom, false},
+			{baselines.TraitsKIVI, false},
+			{baselines.TraitsDiffKV(0.28), true},
+		}
+		results := make([]serving.Result, len(systems))
+		o.forEach(len(systems), func(i int) {
+			results[i] = runOne(systems[i].traits, systems[i].useMgr)
+		})
+		vllm, quest, snap, atom, kivi, diff :=
+			results[0], results[1], results[2], results[3], results[4], results[5]
 
 		norm := func(r serving.Result) string {
 			return fmt.Sprintf("%.1fx", r.Throughput/vllm.Throughput)

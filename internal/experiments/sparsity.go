@@ -29,28 +29,42 @@ func Fig2(o Opts) []*Table {
 		Notes:  "scores span far more orders of magnitude than value norms",
 	}
 	for _, layer := range layers {
-		var scores, norms []float64
-		for s := 0; s < seqs; s++ {
+		// per-sequence samples fan out across the worker pool and are
+		// concatenated in sequence order
+		seqScores := make([][]float64, seqs)
+		seqNorms := make([][]float64, seqs)
+		layer := layer
+		o.forEach(seqs, func(s int) {
 			rng := root.SplitAt(uint64(layer*1000 + s))
 			prof := synth.Profile(model, layer, s%model.KVHeads, 1, rng)
 			h := synth.GenHead(model, prof, seqLen, rng.SplitAt(1))
 			q := h.Query(rng)
 			for _, sc := range h.Scores(q, seqLen) {
-				scores = append(scores, float64(sc))
+				seqScores[s] = append(seqScores[s], float64(sc))
 			}
 			for _, v := range h.Vals {
-				norms = append(norms, float64(mathx.Norm2(v)))
+				seqNorms[s] = append(seqNorms[s], float64(mathx.Norm2(v)))
 			}
+		})
+		var scores, norms []float64
+		for s := 0; s < seqs; s++ {
+			scores = append(scores, seqScores[s]...)
+			norms = append(norms, seqNorms[s]...)
 		}
-		for name, sample := range map[string][]float64{"score": scores, "v-norm": norms} {
-			cdf := stats.NewCDF(sample)
+		// fixed series order (a map iteration here would make row order
+		// nondeterministic across runs)
+		for _, series := range []struct {
+			name   string
+			sample []float64
+		}{{"score", scores}, {"v-norm", norms}} {
+			cdf := stats.NewCDF(series.sample)
 			cdfT.AddRow(
-				fmt.Sprintf("%s-layer-%d", name, layer),
-				fmt.Sprintf("%.2e", stats.Quantile(sample, 0.10)),
-				fmt.Sprintf("%.2e", stats.Quantile(sample, 0.25)),
-				fmt.Sprintf("%.2e", stats.Quantile(sample, 0.50)),
-				fmt.Sprintf("%.2e", stats.Quantile(sample, 0.75)),
-				fmt.Sprintf("%.2e", stats.Quantile(sample, 0.90)),
+				fmt.Sprintf("%s-layer-%d", series.name, layer),
+				fmt.Sprintf("%.2e", stats.Quantile(series.sample, 0.10)),
+				fmt.Sprintf("%.2e", stats.Quantile(series.sample, 0.25)),
+				fmt.Sprintf("%.2e", stats.Quantile(series.sample, 0.50)),
+				fmt.Sprintf("%.2e", stats.Quantile(series.sample, 0.75)),
+				fmt.Sprintf("%.2e", stats.Quantile(series.sample, 0.90)),
 				f1(cdf.OrdersOfMagnitude()),
 			)
 		}
@@ -121,7 +135,11 @@ func Fig4(o Opts) []*Table {
 		Header: []string{"layer", "mean-critical-tokens", "std-across-requests"},
 		Notes:  "sparsity varies substantially across layers",
 	}
-	for layer := 0; layer < model.Layers; layer++ {
+	// one row per layer; layers fan out across the worker pool and rows are
+	// emitted in layer order
+	type layerRow struct{ mean, std float64 }
+	rows := make([]layerRow, model.Layers)
+	o.forEach(model.Layers, func(layer int) {
 		var s stats.Summary
 		for r := 0; r < reqs; r++ {
 			rng := root.SplitAt(uint64(layer*100 + r))
@@ -133,7 +151,10 @@ func Fig4(o Opts) []*Table {
 			}
 			s.Add(perReq.Mean())
 		}
-		t.AddRow(fmt.Sprintf("%d", layer), f1(s.Mean()), f1(s.Std()))
+		rows[layer] = layerRow{s.Mean(), s.Std()}
+	})
+	for layer, r := range rows {
+		t.AddRow(fmt.Sprintf("%d", layer), f1(r.mean), f1(r.std))
 	}
 	return []*Table{t}
 }
@@ -154,17 +175,26 @@ func Fig5(o Opts) []*Table {
 		Header: []string{"layer", "head", "mean-critical-tokens", "std-across-requests"},
 		Notes:  "heads within a layer differ; the same head varies across requests",
 	}
-	for _, layer := range []int{0, 15, 31} {
-		for head := 0; head < model.KVHeads; head++ {
-			var s stats.Summary
-			for r := 0; r < reqs; r++ {
-				rng := root.SplitAt(uint64(layer*10000 + head*100 + r))
-				prof := synth.Profile(model, layer, head, 1, rng)
-				scores := synth.ScoreSeries(prof, n, rng.SplitAt(1))
-				s.Add(float64(synth.CriticalTokens(scores, 0.95)))
-			}
-			t.AddRow(fmt.Sprintf("%d", layer), fmt.Sprintf("%d", head), f1(s.Mean()), f1(s.Std()))
+	// the (layer, head) grid fans out across the worker pool; rows are
+	// emitted in grid order
+	layers := []int{0, 15, 31}
+	type cellRow struct{ mean, std float64 }
+	rows := make([]cellRow, len(layers)*model.KVHeads)
+	o.forEach(len(rows), func(i int) {
+		layer := layers[i/model.KVHeads]
+		head := i % model.KVHeads
+		var s stats.Summary
+		for r := 0; r < reqs; r++ {
+			rng := root.SplitAt(uint64(layer*10000 + head*100 + r))
+			prof := synth.Profile(model, layer, head, 1, rng)
+			scores := synth.ScoreSeries(prof, n, rng.SplitAt(1))
+			s.Add(float64(synth.CriticalTokens(scores, 0.95)))
 		}
+		rows[i] = cellRow{s.Mean(), s.Std()}
+	})
+	for i, r := range rows {
+		t.AddRow(fmt.Sprintf("%d", layers[i/model.KVHeads]), fmt.Sprintf("%d", i%model.KVHeads),
+			f1(r.mean), f1(r.std))
 	}
 	return []*Table{t}
 }

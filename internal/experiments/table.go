@@ -73,10 +73,16 @@ func min(a, b int) int {
 type Opts struct {
 	// Reps is the number of repetitions averaged (paper: 5; default 3).
 	Reps int
-	// Fast reduces sweep resolution and sample counts for benchmarks.
+	// Fast reduces sweep resolution and sample counts for benchmarks. It
+	// also skips host wall-clock measurements (abl-scan) so fast-mode
+	// output is fully deterministic at a fixed seed.
 	Fast bool
 	// Seed is the root seed.
 	Seed uint64
+	// Workers bounds the worker pool independent reps/configs fan out
+	// across: 0 means runtime.NumCPU(), 1 forces sequential execution.
+	// Results are bit-identical for every value (see forEach).
+	Workers int
 }
 
 func (o *Opts) norm() {

@@ -124,6 +124,15 @@ func (hc *HeadCache) AppendToken(level Level, key, val []float32, score float32,
 	return nil
 }
 
+// PageCount returns the number of pages in the tier (push order indexing
+// for PageAt). Trailing pages may be empty after removals.
+func (hc *HeadCache) PageCount(level Level) int { return hc.pageCount(level) }
+
+// PageAt returns the i-th page of the tier in push order — the slot-range
+// accessor the scratch-based attention kernels iterate directly, avoiding
+// the per-token callback of ForEachToken.
+func (hc *HeadCache) PageAt(level Level, i int) *Page { return hc.page(level, i) }
+
 // ForEachToken calls fn for every live token of the tier.
 func (hc *HeadCache) ForEachToken(level Level, fn func(p *Page, slot int)) {
 	n := hc.pageCount(level)
@@ -141,10 +150,10 @@ func (hc *HeadCache) MinScore(level Level) (ref TokenRef, score float32, ok bool
 	n := hc.pageCount(level)
 	first := true
 	for i := 0; i < n; i++ {
-		p := hc.page(level, i)
-		for s := 0; s < p.N; s++ {
-			if first || p.Score(s) < score {
-				score = p.Score(s)
+		scores := hc.page(level, i).Scores()
+		for s, sc := range scores {
+			if first || sc < score {
+				score = sc
 				ref = TokenRef{Level: level, Page: i, Slot: s}
 				first = false
 			}

@@ -112,6 +112,35 @@ func (p *Page) ValData(slot int) (data []byte, scale, zero float32) {
 	return p.vals[slot*vb : (slot+1)*vb], p.valMeta[2*slot], p.valMeta[2*slot+1]
 }
 
+// KeySlots returns the packed key codes and (scale, zero) metadata of the
+// page's N live slots — the slot-range view the page-granular batched
+// kernels (quant.DequantDotSlots) consume. Nil in counts-only mode.
+func (p *Page) KeySlots() (data []byte, meta []float32) {
+	if p.keys == nil {
+		return nil, nil
+	}
+	kb := p.Prec.KeyBytes(p.Dim)
+	return p.keys[:p.N*kb], p.keyMeta[:2*p.N]
+}
+
+// ValSlots returns the packed value codes and (scale, zero) metadata of the
+// page's N live slots. Nil in counts-only mode.
+func (p *Page) ValSlots() (data []byte, meta []float32) {
+	if p.vals == nil {
+		return nil, nil
+	}
+	vb := p.Prec.ValBytes(p.Dim)
+	return p.vals[:p.N*vb], p.valMeta[:2*p.N]
+}
+
+// Positions returns the original token positions of the page's N live slots.
+func (p *Page) Positions() []int32 { return p.pos[:p.N] }
+
+// Scores returns the significance scores of the page's N live slots. The
+// slice aliases page storage, so writes update the page (the policy's
+// running-average refresh uses this to avoid a per-token call).
+func (p *Page) Scores() []float32 { return p.scores[:p.N] }
+
 // DequantToken reconstructs the key and value of a slot into the provided
 // buffers (each of length Dim).
 func (p *Page) DequantToken(slot int, key, val []float32) {

@@ -102,12 +102,18 @@ type GenStepResult struct {
 // GenPolicy drives generation-phase compression for one (sequence, KV-head)
 // pair: it owns the recent window and the significance tracker and applies
 // Algorithm 1 each step.
+//
+// The window is kept in a fixed backing array with a moving head index:
+// popping the oldest token advances the head, and when the backing array is
+// exhausted the live region is shifted down in place, so the steady state
+// allocates nothing.
 type GenPolicy struct {
-	P      Params
-	Sig    *SigTracker
-	window []WindowToken
-	keyBuf []float32
-	valBuf []float32
+	P       Params
+	Sig     *SigTracker
+	win     []WindowToken
+	winHead int
+	keyBuf  []float32
+	valBuf  []float32
 }
 
 // NewGenPolicy creates a generation policy with validated parameters for a
@@ -119,22 +125,52 @@ func NewGenPolicy(p Params, dim, expectLen int) (*GenPolicy, error) {
 	return &GenPolicy{
 		P:      p,
 		Sig:    NewSigTracker(expectLen),
+		win:    make([]WindowToken, 0, p.Window+1),
 		keyBuf: make([]float32, dim),
 		valBuf: make([]float32, dim),
 	}, nil
 }
 
 // Window exposes the uncompressed recent tokens for the attention kernel.
-func (g *GenPolicy) Window() []WindowToken { return g.window }
+func (g *GenPolicy) Window() []WindowToken { return g.win[g.winHead:] }
+
+// pushWindow appends a token, compacting the backing array in place when
+// its tail is exhausted (zero allocations once warm).
+func (g *GenPolicy) pushWindow(t WindowToken) {
+	if g.winHead > 0 && len(g.win) == cap(g.win) {
+		n := copy(g.win, g.win[g.winHead:])
+		g.win = g.win[:n]
+		g.winHead = 0
+	}
+	g.win = append(g.win, t)
+}
+
+// popWindow removes and returns the oldest window token.
+func (g *GenPolicy) popWindow() WindowToken {
+	t := g.win[g.winHead]
+	g.win[g.winHead] = WindowToken{} // release key/val references
+	g.winHead++
+	if g.winHead == len(g.win) {
+		g.win = g.win[:0]
+		g.winHead = 0
+	}
+	return t
+}
 
 // refreshScores pushes current running averages into the page score
-// segments so victim selection sees up-to-date significance.
+// segments so victim selection sees up-to-date significance, iterating
+// pages' slot ranges directly (no per-token callback).
 func (g *GenPolicy) refreshScores(hc *kvcache.HeadCache) {
-	update := func(p *kvcache.Page, slot int) {
-		p.SetScore(slot, g.Sig.Avg(int(p.Position(slot))))
+	for _, level := range [2]kvcache.Level{kvcache.LevelHi, kvcache.LevelLo} {
+		for i, n := 0, hc.PageCount(level); i < n; i++ {
+			p := hc.PageAt(level, i)
+			pos := p.Positions()
+			scores := p.Scores()
+			for s := range scores {
+				scores[s] = g.Sig.Avg(int(pos[s]))
+			}
+		}
 	}
-	hc.ForEachToken(kvcache.LevelHi, update)
-	hc.ForEachToken(kvcache.LevelLo, update)
 }
 
 // Step admits a newly generated token and, once the window is full,
@@ -146,12 +182,11 @@ func (g *GenPolicy) refreshScores(hc *kvcache.HeadCache) {
 //	else if Score(tc) ≥ αl: tc → KVl; victim of KVl may be pruned
 //	else: tc pruned
 func (g *GenPolicy) Step(hc *kvcache.HeadCache, key, val []float32, pos int32) (GenStepResult, error) {
-	g.window = append(g.window, WindowToken{Key: key, Val: val, Pos: pos})
-	if len(g.window) <= g.P.Window {
+	g.pushWindow(WindowToken{Key: key, Val: val, Pos: pos})
+	if len(g.Window()) <= g.P.Window {
 		return GenStepResult{}, nil
 	}
-	tc := g.window[0]
-	g.window = g.window[1:]
+	tc := g.popWindow()
 	g.refreshScores(hc)
 
 	score := g.Sig.Avg(int(tc.Pos))
@@ -210,9 +245,8 @@ func (g *GenPolicy) Step(hc *kvcache.HeadCache, key, val []float32, pos int32) (
 // of generation, used when the caller wants the final cache state to cover
 // the full sequence).
 func (g *GenPolicy) FlushWindow(hc *kvcache.HeadCache) error {
-	for len(g.window) > 0 {
-		tc := g.window[0]
-		g.window = g.window[1:]
+	for len(g.Window()) > 0 {
+		tc := g.popWindow()
 		score := g.Sig.Avg(int(tc.Pos))
 		// window tokens are recent: store at high precision
 		if err := hc.AppendToken(kvcache.LevelHi, tc.Key, tc.Val, score, tc.Pos); err != nil {

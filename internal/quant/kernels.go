@@ -1,0 +1,295 @@
+package quant
+
+// Bit-width-specialized decode loops and page-granular batched kernels.
+//
+// The generic loops in quant.go recompute i/perByte and a variable shift for
+// every element. The specialized loops below load each packed byte once and
+// decode its 8/bits values with constant shifts — the Go analogue of the
+// paper's CUDA kernel decoding a full register per instruction (§6.2). The
+// *Slots variants process every occupied slot of a unified page in one call,
+// so the attention path pays bit-width dispatch and the q-summation term
+// once per page rather than once per token.
+
+import "fmt"
+
+// sum32 returns the sum of q's elements (the Σq term shared by every slot of
+// a page in the fused dot kernel).
+func sum32(q []float32) float32 {
+	var s float32
+	for _, v := range q {
+		s += v
+	}
+	return s
+}
+
+// dotPacked returns dot(q, Q) over len(q) packed b-bit codes, decoding one
+// loaded byte at a time.
+func dotPacked(q []float32, data []byte, bits int) float32 {
+	n := len(q)
+	var s float32
+	switch bits {
+	case 8:
+		for i, qv := range q {
+			s += qv * float32(data[i])
+		}
+	case 4:
+		i := 0
+		for ; i+2 <= n; i += 2 {
+			b := data[i>>1]
+			s += q[i]*float32(b&0x0f) + q[i+1]*float32(b>>4)
+		}
+		if i < n {
+			s += q[i] * float32(data[i>>1]&0x0f)
+		}
+	case 2:
+		i := 0
+		for ; i+4 <= n; i += 4 {
+			b := data[i>>2]
+			s += q[i]*float32(b&3) + q[i+1]*float32((b>>2)&3) +
+				q[i+2]*float32((b>>4)&3) + q[i+3]*float32(b>>6)
+		}
+		for ; i < n; i++ {
+			s += q[i] * float32((data[i>>2]>>uint((i&3)*2))&3)
+		}
+	case 1:
+		i := 0
+		for ; i+8 <= n; i += 8 {
+			b := data[i>>3]
+			s += q[i]*float32(b&1) + q[i+1]*float32((b>>1)&1) +
+				q[i+2]*float32((b>>2)&1) + q[i+3]*float32((b>>3)&1) +
+				q[i+4]*float32((b>>4)&1) + q[i+5]*float32((b>>5)&1) +
+				q[i+6]*float32((b>>6)&1) + q[i+7]*float32(b>>7)
+		}
+		for ; i < n; i++ {
+			s += q[i] * float32((data[i>>3]>>uint(i&7))&1)
+		}
+	default:
+		panic(fmt.Sprintf("quant: unsupported bit width %d", bits))
+	}
+	return s
+}
+
+// dotSumPacked returns (dot(q, Q), Σq) in a single pass — the single-vector
+// variant of dotPacked for callers that cannot amortize Σq across a page.
+func dotSumPacked(q []float32, data []byte, bits int) (dot, sum float32) {
+	n := len(q)
+	switch bits {
+	case 8:
+		for i, qv := range q {
+			dot += qv * float32(data[i])
+			sum += qv
+		}
+	case 4:
+		i := 0
+		for ; i+2 <= n; i += 2 {
+			b := data[i>>1]
+			q0, q1 := q[i], q[i+1]
+			dot += q0*float32(b&0x0f) + q1*float32(b>>4)
+			sum += q0 + q1
+		}
+		if i < n {
+			dot += q[i] * float32(data[i>>1]&0x0f)
+			sum += q[i]
+		}
+	case 2:
+		i := 0
+		for ; i+4 <= n; i += 4 {
+			b := data[i>>2]
+			q0, q1, q2, q3 := q[i], q[i+1], q[i+2], q[i+3]
+			dot += q0*float32(b&3) + q1*float32((b>>2)&3) +
+				q2*float32((b>>4)&3) + q3*float32(b>>6)
+			sum += q0 + q1 + q2 + q3
+		}
+		for ; i < n; i++ {
+			dot += q[i] * float32((data[i>>2]>>uint((i&3)*2))&3)
+			sum += q[i]
+		}
+	case 1:
+		i := 0
+		for ; i+8 <= n; i += 8 {
+			b := data[i>>3]
+			dot += q[i]*float32(b&1) + q[i+1]*float32((b>>1)&1) +
+				q[i+2]*float32((b>>2)&1) + q[i+3]*float32((b>>3)&1) +
+				q[i+4]*float32((b>>4)&1) + q[i+5]*float32((b>>5)&1) +
+				q[i+6]*float32((b>>6)&1) + q[i+7]*float32(b>>7)
+			sum += q[i] + q[i+1] + q[i+2] + q[i+3] + q[i+4] + q[i+5] + q[i+6] + q[i+7]
+		}
+		for ; i < n; i++ {
+			dot += q[i] * float32((data[i>>3]>>uint(i&7))&1)
+			sum += q[i]
+		}
+	default:
+		panic(fmt.Sprintf("quant: unsupported bit width %d", bits))
+	}
+	return dot, sum
+}
+
+// dotF16 returns dot(q, unpacked binary16 data).
+func dotF16(q []float32, data []byte) float32 {
+	var s float32
+	for i := range q {
+		h := uint16(data[2*i]) | uint16(data[2*i+1])<<8
+		s += q[i] * F16ToF32(h)
+	}
+	return s
+}
+
+// axpyPacked computes dst[i] += ws*code_i + wz for n packed b-bit codes —
+// the inner loop of the fused value kernel with the weight·scale and
+// weight·zero products already folded in.
+func axpyPacked(ws, wz float32, data []byte, bits, n int, dst []float32) {
+	switch bits {
+	case 8:
+		for i := 0; i < n; i++ {
+			dst[i] += ws*float32(data[i]) + wz
+		}
+	case 4:
+		i := 0
+		for ; i+2 <= n; i += 2 {
+			b := data[i>>1]
+			dst[i] += ws*float32(b&0x0f) + wz
+			dst[i+1] += ws*float32(b>>4) + wz
+		}
+		if i < n {
+			dst[i] += ws*float32(data[i>>1]&0x0f) + wz
+		}
+	case 2:
+		i := 0
+		for ; i+4 <= n; i += 4 {
+			b := data[i>>2]
+			dst[i] += ws*float32(b&3) + wz
+			dst[i+1] += ws*float32((b>>2)&3) + wz
+			dst[i+2] += ws*float32((b>>4)&3) + wz
+			dst[i+3] += ws*float32(b>>6) + wz
+		}
+		for ; i < n; i++ {
+			dst[i] += ws*float32((data[i>>2]>>uint((i&3)*2))&3) + wz
+		}
+	case 1:
+		i := 0
+		for ; i+8 <= n; i += 8 {
+			b := data[i>>3]
+			dst[i] += ws*float32(b&1) + wz
+			dst[i+1] += ws*float32((b>>1)&1) + wz
+			dst[i+2] += ws*float32((b>>2)&1) + wz
+			dst[i+3] += ws*float32((b>>3)&1) + wz
+			dst[i+4] += ws*float32((b>>4)&1) + wz
+			dst[i+5] += ws*float32((b>>5)&1) + wz
+			dst[i+6] += ws*float32((b>>6)&1) + wz
+			dst[i+7] += ws*float32(b>>7) + wz
+		}
+		for ; i < n; i++ {
+			dst[i] += ws*float32((data[i>>3]>>uint(i&7))&1) + wz
+		}
+	default:
+		panic(fmt.Sprintf("quant: unsupported bit width %d", bits))
+	}
+}
+
+// unpackInto decodes n packed b-bit codes as float32 code values (no
+// scale/zero applied) into dst.
+func unpackInto(data []byte, bits, n int, dst []float32) {
+	switch bits {
+	case 8:
+		for i := 0; i < n; i++ {
+			dst[i] = float32(data[i])
+		}
+	case 4:
+		i := 0
+		for ; i+2 <= n; i += 2 {
+			b := data[i>>1]
+			dst[i] = float32(b & 0x0f)
+			dst[i+1] = float32(b >> 4)
+		}
+		if i < n {
+			dst[i] = float32(data[i>>1] & 0x0f)
+		}
+	case 2:
+		i := 0
+		for ; i+4 <= n; i += 4 {
+			b := data[i>>2]
+			dst[i] = float32(b & 3)
+			dst[i+1] = float32((b >> 2) & 3)
+			dst[i+2] = float32((b >> 4) & 3)
+			dst[i+3] = float32(b >> 6)
+		}
+		for ; i < n; i++ {
+			dst[i] = float32((data[i>>2] >> uint((i&3)*2)) & 3)
+		}
+	case 1:
+		i := 0
+		for ; i+8 <= n; i += 8 {
+			b := data[i>>3]
+			dst[i] = float32(b & 1)
+			dst[i+1] = float32((b >> 1) & 1)
+			dst[i+2] = float32((b >> 2) & 1)
+			dst[i+3] = float32((b >> 3) & 1)
+			dst[i+4] = float32((b >> 4) & 1)
+			dst[i+5] = float32((b >> 5) & 1)
+			dst[i+6] = float32((b >> 6) & 1)
+			dst[i+7] = float32(b >> 7)
+		}
+		for ; i < n; i++ {
+			dst[i] = float32((data[i>>3] >> uint(i&7)) & 1)
+		}
+	default:
+		panic(fmt.Sprintf("quant: unsupported bit width %d", bits))
+	}
+}
+
+// DequantDotSlots computes out[s] = dot(q, dequantize(slot s)) for nSlots
+// consecutive packed vectors — the page-granular fused key kernel. data
+// holds the slots at stride PackedLen(len(q), bits); meta holds one
+// (scale, zero) pair per slot (ignored for the FP16 tier). The Σq term of
+// the affine expansion dot(q, s·Q+z) = s·dot(q,Q) + z·Σq is computed once
+// for the whole page.
+func DequantDotSlots(q []float32, data []byte, bits, nSlots int, meta []float32, out []float32) {
+	if len(out) < nSlots {
+		panic("quant: DequantDotSlots output too small")
+	}
+	dim := len(q)
+	if bits == BitsF16 {
+		stride := 2 * dim
+		for s := 0; s < nSlots; s++ {
+			out[s] = dotF16(q, data[s*stride:(s+1)*stride])
+		}
+		return
+	}
+	if len(meta) < 2*nSlots {
+		panic("quant: DequantDotSlots metadata too small")
+	}
+	stride := PackedLen(dim, bits)
+	sq := sum32(q)
+	for s := 0; s < nSlots; s++ {
+		d := data[s*stride : (s+1)*stride]
+		out[s] = meta[2*s]*dotPacked(q, d, bits) + meta[2*s+1]*sq
+	}
+}
+
+// DequantAxpySlots accumulates dst += Σ_s w[s]·dequantize(slot s) over
+// len(w) consecutive packed vectors of n elements — the page-granular fused
+// value kernel. meta holds one (scale, zero) pair per slot (ignored for the
+// FP16 tier).
+func DequantAxpySlots(w []float32, data []byte, bits, n int, meta []float32, dst []float32) {
+	if len(dst) < n {
+		panic("quant: DequantAxpySlots destination too small")
+	}
+	if bits == BitsF16 {
+		stride := 2 * n
+		for s, ws := range w {
+			d := data[s*stride : (s+1)*stride]
+			for i := 0; i < n; i++ {
+				h := uint16(d[2*i]) | uint16(d[2*i+1])<<8
+				dst[i] += ws * F16ToF32(h)
+			}
+		}
+		return
+	}
+	if len(meta) < 2*len(w) {
+		panic("quant: DequantAxpySlots metadata too small")
+	}
+	stride := PackedLen(n, bits)
+	for s, ws := range w {
+		axpyPacked(ws*meta[2*s], ws*meta[2*s+1], data[s*stride:(s+1)*stride], bits, n, dst)
+	}
+}

@@ -1,0 +1,224 @@
+package quant
+
+import (
+	"math"
+	"testing"
+
+	"diffkv/internal/mathx"
+)
+
+// refDequantDot is the straightforward per-element kernel the specialized
+// loops must agree with.
+func refDequantDot(q []float32, data []byte, bits int, scale, zero float32) float32 {
+	if bits == BitsF16 {
+		var s float32
+		for i := range q {
+			h := uint16(data[2*i]) | uint16(data[2*i+1])<<8
+			s += q[i] * F16ToF32(h)
+		}
+		return s
+	}
+	perByte := 8 / bits
+	mask := byte(levels(bits))
+	var dotQ, sumQ float32
+	for i := range q {
+		b := data[i/perByte]
+		qv := (b >> uint((i%perByte)*bits)) & mask
+		dotQ += q[i] * float32(qv)
+		sumQ += q[i]
+	}
+	return scale*dotQ + zero*sumQ
+}
+
+func refDequantAxpy(w float32, data []byte, bits, n int, scale, zero float32, dst []float32) {
+	if bits == BitsF16 {
+		for i := 0; i < n; i++ {
+			h := uint16(data[2*i]) | uint16(data[2*i+1])<<8
+			dst[i] += w * F16ToF32(h)
+		}
+		return
+	}
+	perByte := 8 / bits
+	mask := byte(levels(bits))
+	for i := 0; i < n; i++ {
+		b := data[i/perByte]
+		qv := (b >> uint((i%perByte)*bits)) & mask
+		dst[i] += w*scale*float32(qv) + w*zero
+	}
+}
+
+var kernelDims = []int{1, 3, 7, 8, 31, 64, 128}
+
+func TestSpecializedDotMatchesReference(t *testing.T) {
+	rng := mathx.NewRNG(11)
+	for _, bits := range []int{1, 2, 4, 8, BitsF16} {
+		for _, dim := range kernelDims {
+			src := make([]float32, dim)
+			q := make([]float32, dim)
+			rng.NormVec(src, 1.3)
+			rng.NormVec(q, 1)
+			data := make([]byte, PackedLen(dim, bits))
+			scale, zero := QuantizeInto(src, bits, data)
+			got := DequantDot(q, data, bits, scale, zero)
+			want := refDequantDot(q, data, bits, scale, zero)
+			if math.Abs(float64(got-want)) > 1e-3*(1+math.Abs(float64(want))) {
+				t.Fatalf("bits=%d dim=%d: dot %v != ref %v", bits, dim, got, want)
+			}
+		}
+	}
+}
+
+func TestSpecializedAxpyMatchesReference(t *testing.T) {
+	rng := mathx.NewRNG(12)
+	for _, bits := range []int{1, 2, 4, 8, BitsF16} {
+		for _, dim := range kernelDims {
+			src := make([]float32, dim)
+			rng.NormVec(src, 0.8)
+			data := make([]byte, PackedLen(dim, bits))
+			scale, zero := QuantizeInto(src, bits, data)
+			got := make([]float32, dim)
+			want := make([]float32, dim)
+			DequantAxpy(0.37, data, bits, dim, scale, zero, got)
+			refDequantAxpy(0.37, data, bits, dim, scale, zero, want)
+			for i := range got {
+				if math.Abs(float64(got[i]-want[i])) > 1e-4 {
+					t.Fatalf("bits=%d dim=%d i=%d: %v != %v", bits, dim, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestSpecializedDequantizeMatchesRoundTrip(t *testing.T) {
+	rng := mathx.NewRNG(13)
+	for _, bits := range []int{1, 2, 4, 8, BitsF16} {
+		for _, dim := range kernelDims {
+			src := make([]float32, dim)
+			rng.NormVec(src, 1)
+			data := make([]byte, PackedLen(dim, bits))
+			scale, zero := QuantizeInto(src, bits, data)
+			dst := make([]float32, dim)
+			DequantizeInto(data, bits, dim, scale, zero, dst)
+			// reconstruction error bounded by half a quantization step
+			if bits != BitsF16 {
+				step := float64(scale)
+				for i := range dst {
+					if d := math.Abs(float64(dst[i] - src[i])); d > step/2+1e-5 {
+						t.Fatalf("bits=%d dim=%d i=%d: err %v > step/2 %v", bits, dim, i, d, step/2)
+					}
+				}
+			}
+		}
+	}
+}
+
+// slotPage packs nSlots quantized vectors the way a unified page stores
+// them: contiguous codes at fixed stride plus a (scale, zero) pair per slot.
+func slotPage(rng *mathx.RNG, bits, dim, nSlots int) (data []byte, meta []float32, vecs [][]float32) {
+	stride := PackedLen(dim, bits)
+	data = make([]byte, nSlots*stride)
+	meta = make([]float32, 2*nSlots)
+	for s := 0; s < nSlots; s++ {
+		v := make([]float32, dim)
+		rng.NormVec(v, 1)
+		vecs = append(vecs, v)
+		sc, z := QuantizeInto(v, bits, data[s*stride:(s+1)*stride])
+		meta[2*s], meta[2*s+1] = sc, z
+	}
+	return data, meta, vecs
+}
+
+func TestDequantDotSlotsMatchesPerToken(t *testing.T) {
+	rng := mathx.NewRNG(14)
+	for _, bits := range []int{1, 2, 4, 8, BitsF16} {
+		dim, nSlots := 64, 9
+		data, meta, _ := slotPage(rng, bits, dim, nSlots)
+		q := make([]float32, dim)
+		rng.NormVec(q, 1)
+		out := make([]float32, nSlots)
+		DequantDotSlots(q, data, bits, nSlots, meta, out)
+		stride := PackedLen(dim, bits)
+		for s := 0; s < nSlots; s++ {
+			want := DequantDot(q, data[s*stride:(s+1)*stride], bits, meta[2*s], meta[2*s+1])
+			if math.Abs(float64(out[s]-want)) > 1e-4*(1+math.Abs(float64(want))) {
+				t.Fatalf("bits=%d slot=%d: %v != %v", bits, s, out[s], want)
+			}
+		}
+	}
+}
+
+func TestDequantAxpySlotsMatchesPerToken(t *testing.T) {
+	rng := mathx.NewRNG(15)
+	for _, bits := range []int{1, 2, 4, 8, BitsF16} {
+		dim, nSlots := 48, 7
+		data, meta, _ := slotPage(rng, bits, dim, nSlots)
+		w := make([]float32, nSlots)
+		for s := range w {
+			w[s] = float32(rng.Float64())
+		}
+		got := make([]float32, dim)
+		DequantAxpySlots(w, data, bits, dim, meta, got)
+		want := make([]float32, dim)
+		stride := PackedLen(dim, bits)
+		for s := 0; s < nSlots; s++ {
+			DequantAxpy(w[s], data[s*stride:(s+1)*stride], bits, dim, meta[2*s], meta[2*s+1], want)
+		}
+		for i := range got {
+			if math.Abs(float64(got[i]-want[i])) > 1e-4 {
+				t.Fatalf("bits=%d i=%d: %v != %v", bits, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestDequantDotZeroAllocs(t *testing.T) {
+	rng := mathx.NewRNG(16)
+	dim := 128
+	src := make([]float32, dim)
+	q := make([]float32, dim)
+	rng.NormVec(src, 1)
+	rng.NormVec(q, 1)
+	data := make([]byte, PackedLen(dim, 4))
+	scale, zero := QuantizeInto(src, 4, data)
+	var sink float32
+	allocs := testing.AllocsPerRun(100, func() {
+		sink += DequantDot(q, data, 4, scale, zero)
+	})
+	if allocs != 0 {
+		t.Fatalf("DequantDot allocated %v per run", allocs)
+	}
+	_ = sink
+}
+
+func TestDequantAxpyZeroAllocs(t *testing.T) {
+	rng := mathx.NewRNG(17)
+	dim := 128
+	src := make([]float32, dim)
+	rng.NormVec(src, 1)
+	data := make([]byte, PackedLen(dim, 2))
+	scale, zero := QuantizeInto(src, 2, data)
+	dst := make([]float32, dim)
+	allocs := testing.AllocsPerRun(100, func() {
+		DequantAxpy(0.5, data, 2, dim, scale, zero, dst)
+	})
+	if allocs != 0 {
+		t.Fatalf("DequantAxpy allocated %v per run", allocs)
+	}
+}
+
+func TestSlotKernelsZeroAllocs(t *testing.T) {
+	rng := mathx.NewRNG(18)
+	dim, nSlots := 128, 16
+	data, meta, _ := slotPage(rng, 4, dim, nSlots)
+	q := make([]float32, dim)
+	rng.NormVec(q, 1)
+	out := make([]float32, nSlots)
+	dst := make([]float32, dim)
+	allocs := testing.AllocsPerRun(100, func() {
+		DequantDotSlots(q, data, 4, nSlots, meta, out)
+		DequantAxpySlots(out, data, 4, dim, meta, dst)
+	})
+	if allocs != 0 {
+		t.Fatalf("slot kernels allocated %v per run", allocs)
+	}
+}

@@ -111,38 +111,23 @@ func DequantizeInto(data []byte, bits, n int, scale, zero float32, dst []float32
 		UnpackF16(data, dst[:n])
 		return
 	}
-	perByte := 8 / bits
-	mask := byte(levels(bits))
+	unpackInto(data, bits, n, dst)
 	for i := 0; i < n; i++ {
-		b := data[i/perByte]
-		q := (b >> uint((i%perByte)*bits)) & mask
-		dst[i] = scale*float32(q) + zero
+		dst[i] = scale*dst[i] + zero
 	}
 }
 
 // DequantDot computes dot(q, dequantize(data)) without materializing the
 // dequantized vector — the Go analogue of the paper's fused
-// dequantization+dot attention kernel for key processing.
+// dequantization+dot attention kernel for key processing. The inner loop is
+// byte-unrolled per bit width (see kernels.go); the affine expansion
+// dot(q, s*Q+z) = s*dot(q,Q) + z*sum(q) avoids touching zero per element.
 func DequantDot(q []float32, data []byte, bits int, scale, zero float32) float32 {
 	if bits == BitsF16 {
-		var s float32
-		for i := range q {
-			h := uint16(data[2*i]) | uint16(data[2*i+1])<<8
-			s += q[i] * F16ToF32(h)
-		}
-		return s
+		return dotF16(q, data)
 	}
-	perByte := 8 / bits
-	mask := byte(levels(bits))
-	// dot(q, s*Q+z) = s*dot(q,Q) + z*sum(q)
-	var dotQ, sumQ float32
-	for i := range q {
-		b := data[i/perByte]
-		qv := (b >> uint((i%perByte)*bits)) & mask
-		dotQ += q[i] * float32(qv)
-		sumQ += q[i]
-	}
-	return scale*dotQ + zero*sumQ
+	dot, sum := dotSumPacked(q, data, bits)
+	return scale*dot + zero*sum
 }
 
 // DequantAxpy computes dst += w * dequantize(data) for an n-element packed
@@ -158,13 +143,5 @@ func DequantAxpy(w float32, data []byte, bits, n int, scale, zero float32, dst [
 		}
 		return
 	}
-	perByte := 8 / bits
-	mask := byte(levels(bits))
-	ws := w * scale
-	wz := w * zero
-	for i := 0; i < n; i++ {
-		b := data[i/perByte]
-		q := (b >> uint((i%perByte)*bits)) & mask
-		dst[i] += ws*float32(q) + wz
-	}
+	axpyPacked(w*scale, w*zero, data, bits, n, dst)
 }

@@ -174,6 +174,15 @@ type Engine struct {
 	busyUs       gpusim.Micros
 	agg          Result
 	prefix       map[int]*prefixEntry
+
+	// step scratch: buffers reused across Step calls so the scheduler's
+	// steady state allocates nothing (an Engine is single-goroutine)
+	promptBuf  []*seqState
+	genBuf     []*seqState
+	headDemand []kvcache.HeadDemand
+	genIDs     []int
+	genDemands [][]kvcache.GenDemand
+	genFlat    []kvcache.GenDemand
 }
 
 // NewEngine builds a serving engine.
@@ -411,8 +420,9 @@ func (e *Engine) Step() ([]Completion, error) {
 		return nil, nil
 	}
 
-	// split phase: prompts first (vLLM-style prioritized prompt steps)
-	var promptSeqs, genSeqs []*seqState
+	// split phase: prompts first (vLLM-style prioritized prompt steps);
+	// the phase slices reuse step-scratch backing arrays
+	promptSeqs, genSeqs := e.promptBuf[:0], e.genBuf[:0]
 	for _, st := range e.running {
 		if !st.promptDone {
 			promptSeqs = append(promptSeqs, st)
@@ -420,6 +430,7 @@ func (e *Engine) Step() ([]Completion, error) {
 			genSeqs = append(genSeqs, st)
 		}
 	}
+	e.promptBuf, e.genBuf = promptSeqs, genSeqs
 
 	var bd StepBreakdown
 	var preempted []*seqState
@@ -481,6 +492,14 @@ func (e *Engine) Step() ([]Completion, error) {
 			e.touchPrefix(st)
 		}
 	}
+
+	// release seqState references from the step scratch so completed
+	// sequences are collectable once they leave e.running (the backing
+	// arrays persist across Steps)
+	clear(e.promptBuf)
+	clear(e.genBuf)
+	e.promptBuf = e.promptBuf[:0]
+	e.genBuf = e.genBuf[:0]
 
 	// completions
 	var done []Completion
@@ -617,8 +636,11 @@ func (e *Engine) promptStep(seqs []*seqState) (StepBreakdown, []*seqState, error
 	var stats kvcache.CompactStats
 	var preempted []*seqState
 	if e.mgr != nil {
+		if cap(e.headDemand) < e.headsN {
+			e.headDemand = make([]kvcache.HeadDemand, e.headsN)
+		}
 		for _, st := range seqs {
-			demands := make([]kvcache.HeadDemand, e.headsN)
+			demands := e.headDemand[:e.headsN]
 			for h := range demands {
 				demands[h] = kvcache.HeadDemand{
 					HiTokens: int(st.hiF[h] * float64(st.req.PromptLen)),
@@ -718,11 +740,23 @@ func (e *Engine) genStep(seqs []*seqState) (StepBreakdown, []*seqState, error) {
 	if e.mgr != nil {
 		active := append([]*seqState(nil), seqs...)
 		for {
-			ids := make([]int, len(active))
-			demands := make([][]kvcache.GenDemand, len(active))
+			n := len(active)
+			if cap(e.genIDs) < n {
+				e.genIDs = make([]int, n)
+				e.genDemands = make([][]kvcache.GenDemand, n)
+			}
+			if cap(e.genFlat) < n*e.headsN {
+				e.genFlat = make([]kvcache.GenDemand, n*e.headsN)
+			}
+			ids := e.genIDs[:n]
+			demands := e.genDemands[:n]
+			flat := e.genFlat[:n*e.headsN]
 			for i, st := range active {
 				ids[i] = st.req.ID
-				d := make([]kvcache.GenDemand, e.headsN)
+				d := flat[i*e.headsN : (i+1)*e.headsN]
+				for h := range d {
+					d[h] = kvcache.GenDemand{}
+				}
 				if st.winFill >= 64 {
 					for h := range d {
 						// steady state: candidate lands by tier
