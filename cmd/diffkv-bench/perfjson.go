@@ -17,6 +17,7 @@ import (
 
 	"diffkv/internal/benchkernels"
 	"diffkv/internal/experiments"
+	"diffkv/internal/offload"
 )
 
 // KernelResult is one micro-benchmark measurement.
@@ -34,6 +35,20 @@ type ExperimentResult struct {
 	WallMs float64 `json:"wall_ms"`
 }
 
+// OffloadGoodput is one cell of the swap-vs-recompute record: a full-size
+// offload-experiment run (closed-loop MATH CoT, Llama3-8B on one L40) at
+// one oversubscription level under one recovery policy.
+type OffloadGoodput struct {
+	KVBudgetFrac     float64 `json:"kv_budget_frac"`
+	Policy           string  `json:"policy"`
+	GoodputTokSec    float64 `json:"goodput_tok_per_sec"`
+	ThroughputTokSec float64 `json:"throughput_tok_per_sec"`
+	Preemptions      int     `json:"preemptions"`
+	SwapOuts         int     `json:"swap_outs"`
+	SwapOutMB        float64 `json:"swap_out_mb"`
+	PCIeStallMs      float64 `json:"pcie_stall_ms"`
+}
+
 // PerfSnapshot is the full -json payload.
 type PerfSnapshot struct {
 	GoVersion   string             `json:"go_version"`
@@ -41,6 +56,11 @@ type PerfSnapshot struct {
 	Workers     int                `json:"workers"`
 	Kernels     []KernelResult     `json:"kernels"`
 	Experiments []ExperimentResult `json:"experiments"`
+	// Offload records swap-vs-recompute goodput at each oversubscription
+	// level, and SwapBytes the per-tier PCIe cost of one swapped sequence
+	// (compression moves fewer bytes than FP16).
+	Offload   []OffloadGoodput           `json:"offload"`
+	SwapBytes []experiments.SwapBytesRow `json:"swap_bytes"`
 }
 
 // writePerfJSON runs the perf snapshot and writes it to path.
@@ -71,6 +91,24 @@ func writePerfJSON(path string, seed uint64, workers int) error {
 			WallMs: float64(time.Since(start).Microseconds()) / 1e3,
 		})
 	}
+	// swap-vs-recompute goodput at every oversubscription level (full-size
+	// cells, matching `-exp offload` without -fast)
+	for _, reserve := range experiments.OffloadReserves() {
+		for _, policy := range offload.Policies() {
+			res := experiments.OffloadRun(reserve, policy, 20, 2048, seed)
+			snap.Offload = append(snap.Offload, OffloadGoodput{
+				KVBudgetFrac:     1 - reserve,
+				Policy:           policy,
+				GoodputTokSec:    res.GoodputTokensPerSec,
+				ThroughputTokSec: res.Throughput,
+				Preemptions:      res.Preemptions,
+				SwapOuts:         res.Offload.SwapOuts,
+				SwapOutMB:        float64(res.Offload.SwapOutBytes) / (1 << 20),
+				PCIeStallMs:      res.OffloadStallSeconds * 1e3,
+			})
+		}
+	}
+	snap.SwapBytes = experiments.OffloadSwapBytes()
 	data, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
 		return err

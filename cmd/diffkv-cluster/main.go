@@ -35,6 +35,9 @@ func main() {
 		maxQueue   = flag.Int("maxqueue", 128, "admission bound: per-instance queue depth (0 = never shed)")
 		maxGen     = flag.Int("maxgen", 256, "generation limit")
 		memFrac    = flag.Float64("memfrac", 0.3, "DiffKV resident memory fraction")
+		preempt    = flag.String("preempt", "recompute", "preemption recovery: recompute|swap|compress-swap (DiffKV only)")
+		hostGB     = flag.Float64("hostmem", 0, "per-instance host offload tier in GiB (0 disables; DiffKV only)")
+		reserve    = flag.Float64("reserve", 0, "memory reserve fraction (0 = default; raise to oversubscribe KV)")
 		ttftSLO    = flag.Float64("ttft-slo", 2.0, "TTFT SLO (seconds) for goodput")
 		tpotSLO    = flag.Float64("tpot-slo", 0.1, "TPOT SLO (seconds/token) for goodput")
 		tracePath  = flag.String("trace", "", "write trace events as JSON lines to this file")
@@ -87,10 +90,13 @@ func main() {
 		cfg.Engine.Cluster = diffkv.NewCluster(diffkv.L40(), 1)
 		cfg.Engine.Traits = traits
 		cfg.Engine.MaxGenLen = *maxGen
+		cfg.Engine.MemoryReserve = *reserve
 		cfg.Engine.PrefixCacheGroups = *cacheG
 		if *method == "DiffKV" {
 			cfg.Engine.UseManager = true
 			cfg.Engine.HiFrac, cfg.Engine.LoFrac = 0.2, 0.25
+			cfg.Engine.PreemptPolicy = *preempt
+			cfg.Engine.HostMemoryBytes = int64(*hostGB * float64(1<<30))
 		}
 		if *tracePath != "" {
 			collector = diffkv.NewTraceCollector(1 << 20)
@@ -113,6 +119,12 @@ func main() {
 			m.TTFT.P50, m.TTFT.P95, m.TTFT.P99, m.TPOT.P95,
 			m.GoodputReqPerSec, 100*m.MeanUtilization, m.LoadImbalanceCV,
 			100*m.PrefixCacheHitFrac, m.Rejected)
+		if m.Preemptions > 0 || m.SwapOutBytes > 0 || m.HostPrefixHits > 0 {
+			fmt.Printf("  offload: %d preemptions (%d requests) | %.1f MB swapped out / %.1f MB in | %.1f ms stalled | thrash %.2f | %d host prefix hits\n",
+				m.Preemptions, m.PreemptedRequests,
+				float64(m.SwapOutBytes)/(1<<20), float64(m.SwapInBytes)/(1<<20),
+				m.SwapStallSeconds*1e3, m.ThrashRate, m.HostPrefixHits)
+		}
 		if stuck := m.Stuck(); stuck != 0 {
 			fmt.Printf("  WARNING: %d dispatched requests never completed (liveness violation)\n", stuck)
 		}

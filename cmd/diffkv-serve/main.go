@@ -27,6 +27,9 @@ func main() {
 		seconds   = flag.Float64("seconds", 120, "Poisson horizon")
 		maxGen    = flag.Int("maxgen", 4096, "generation limit")
 		memFrac   = flag.Float64("memfrac", 0.3, "DiffKV resident memory fraction")
+		preempt   = flag.String("preempt", "recompute", "preemption recovery: recompute|swap|compress-swap")
+		hostGB    = flag.Float64("hostmem", 0, "host-memory offload tier size in GiB (0 disables; DiffKV only)")
+		reserve   = flag.Float64("reserve", 0, "memory reserve fraction (0 = default 0.1; raise to oversubscribe KV)")
 		seed      = flag.Uint64("seed", 42, "random seed")
 	)
 	flag.Parse()
@@ -46,15 +49,18 @@ func main() {
 	}
 
 	cfg := diffkv.ServerConfig{
-		Model:     model,
-		Cluster:   diffkv.NewCluster(diffkv.L40(), *gpus),
-		Traits:    traits,
-		MaxGenLen: *maxGen,
-		Seed:      *seed,
+		Model:         model,
+		Cluster:       diffkv.NewCluster(diffkv.L40(), *gpus),
+		Traits:        traits,
+		MaxGenLen:     *maxGen,
+		MemoryReserve: *reserve,
+		Seed:          *seed,
 	}
 	if *method == "DiffKV" {
 		cfg.UseManager = true
 		cfg.HiFrac, cfg.LoFrac = 0.2, 0.25
+		cfg.PreemptPolicy = *preempt
+		cfg.HostMemoryBytes = int64(*hostGB * float64(1<<30))
 	}
 	srv, err := diffkv.NewServer(cfg)
 	if err != nil {
@@ -77,20 +83,38 @@ func main() {
 	fmt.Printf("%s | %s | %s | %d GPU(s) | %d requests\n",
 		model.Name, *method, bench.Name, *gpus, len(reqs))
 	fmt.Printf("  throughput:        %.0f tokens/s\n", res.Throughput)
+	fmt.Printf("  goodput:           %.0f tokens/s (completed requests only)\n", res.GoodputTokensPerSec)
 	fmt.Printf("  avg batch size:    %.1f\n", res.AvgBatch)
 	fmt.Printf("  per-token latency: %.4f s (incl. queueing)\n", res.AvgPerTokenLatency)
 	fmt.Printf("  completed:         %d in %.1fs simulated\n", res.Completed, res.ElapsedSeconds)
+	if res.Preemptions > 0 || res.Offload.SwapOuts > 0 {
+		fmt.Printf("  preemptions:       %d (%s recovery)\n", res.Preemptions, *preempt)
+	}
+	if m := res.Offload; m.SwapOuts > 0 || m.PrefixSpills > 0 {
+		fmt.Printf("  offload:           %d swaps out / %d in | %.1f MB moved | %.1f ms PCIe (%.1f ms stalled) | %d thrash\n",
+			m.SwapOuts, m.SwapIns,
+			float64(m.SwapOutBytes+m.SwapInBytes)/(1<<20),
+			res.OffloadTransferSeconds*1e3, res.OffloadStallSeconds*1e3, m.ThrashEvents)
+		if m.PrefixSpills > 0 {
+			fmt.Printf("  host prefix tier:  %d spills, %d hits (%d tokens)\n",
+				m.PrefixSpills, m.PrefixHits, m.PrefixHitTokens)
+		}
+	}
 
-	breakdown := func(name string, sched, mem, comp, exec float64) {
-		tot := sched + mem + comp + exec
+	printPhase := func(name string, sched, mem, comp, exec, off float64) {
+		tot := sched + mem + comp + exec + off
 		if tot == 0 {
 			return
 		}
-		fmt.Printf("  %s breakdown: scheduler %.1f%% | mem-mgmt %.1f%% | compressor %.1f%% | model %.1f%%\n",
+		line := fmt.Sprintf("  %s breakdown: scheduler %.1f%% | mem-mgmt %.1f%% | compressor %.1f%% | model %.1f%%",
 			name, 100*sched/tot, 100*mem/tot, 100*comp/tot, 100*exec/tot)
+		if off > 0 {
+			line += fmt.Sprintf(" | offload %.1f%%", 100*off/tot)
+		}
+		fmt.Println(line)
 	}
-	breakdown("prompt", float64(res.Prompt.Scheduler), float64(res.Prompt.MemMgmt),
-		float64(res.Prompt.Compressor), float64(res.Prompt.ModelExec))
-	breakdown("generation", float64(res.Gen.Scheduler), float64(res.Gen.MemMgmt),
-		float64(res.Gen.Compressor), float64(res.Gen.ModelExec))
+	printPhase("prompt", float64(res.Prompt.Scheduler), float64(res.Prompt.MemMgmt),
+		float64(res.Prompt.Compressor), float64(res.Prompt.ModelExec), float64(res.Prompt.Offload))
+	printPhase("generation", float64(res.Gen.Scheduler), float64(res.Gen.MemMgmt),
+		float64(res.Gen.Compressor), float64(res.Gen.ModelExec), float64(res.Gen.Offload))
 }

@@ -32,6 +32,7 @@ import (
 	"diffkv/internal/core"
 	"diffkv/internal/experiments"
 	"diffkv/internal/gpusim"
+	"diffkv/internal/offload"
 	"diffkv/internal/policy"
 	"diffkv/internal/quant"
 	"diffkv/internal/serving"
@@ -221,8 +222,25 @@ func NewClusterServer(cfg ClusterServerConfig) (*ClusterServer, error) {
 }
 
 // ServingCompletion is one finished request with its TTFT/TPOT-defining
-// timestamps, returned by the steppable Server API (Server.Step).
+// timestamps plus per-request preemption count and retry timestamps,
+// returned by the steppable Server API (Server.Step).
 type ServingCompletion = serving.Completion
+
+// Preemption recovery policies for ServerConfig.PreemptPolicy: what the
+// engine does with a victim when it runs out of KV pages. Swap policies
+// require UseManager and ServerConfig.HostMemoryBytes > 0.
+const (
+	PreemptRecompute    = offload.PolicyRecompute
+	PreemptSwap         = offload.PolicySwap
+	PreemptCompressSwap = offload.PolicyCompressSwap
+)
+
+// PreemptPolicies lists the available preemption recovery policy names.
+func PreemptPolicies() []string { return offload.Policies() }
+
+// OffloadMetrics snapshots host-tier activity (swap bytes each way,
+// thrashing, prefix spillover hits), reported in ServingResult.Offload.
+type OffloadMetrics = offload.Metrics
 
 // PrefixConfig parameterizes shared-prompt-prefix sampling
 // (RequestGen.NextShared / PoissonShared): production traffic concentrates

@@ -3,6 +3,11 @@
 // is compressed once through the DiffKV policy, snapshotted to a buffer
 // (in production: a file or object store), and restored into a fresh
 // manager byte-for-byte, skipping recomputation and recompression.
+//
+// The second act shows the host-memory prefix tier at serving time: a
+// prefix group evicted from the GPU prefix cache spills to host memory
+// instead of vanishing, and a returning request promotes it back over
+// PCIe — a host-tier hit that still skips the prompt recompute.
 package main
 
 import (
@@ -10,10 +15,13 @@ import (
 	"fmt"
 	"log"
 
+	"diffkv"
+
 	"diffkv/internal/kvcache"
 	"diffkv/internal/mathx"
 	"diffkv/internal/policy"
 	"diffkv/internal/synth"
+	"diffkv/internal/workload"
 )
 
 func main() {
@@ -78,4 +86,39 @@ func main() {
 	restored, _ := dst.Sequence(7)
 	fmt.Printf("restored: %d high / %d low tokens across %d pages — ready to serve\n",
 		restored.Heads[0].HiTokens(), restored.Heads[0].LoTokens(), dst.UsedPages())
+
+	// --- act two: host-tier prefix spillover at serving time ---
+	fmt.Println("\n--- host-memory prefix tier ---")
+	traits, err := diffkv.TraitsFor("DiffKV", 0.3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, err := diffkv.NewServer(diffkv.ServerConfig{
+		Model: diffkv.Llama3_8B, Cluster: diffkv.NewCluster(diffkv.L40(), 1),
+		Traits: traits, UseManager: true, HiFrac: 0.2, LoFrac: 0.25,
+		PrefixCacheGroups: 1,       // GPU cache holds a single group
+		HostMemoryBytes:   2 << 30, // evicted groups spill here
+		Seed:              42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	mk := func(id, group int, at float64) workload.Request {
+		return workload.Request{
+			ID: id, ArrivalUs: at, PromptLen: 1024, GenLen: 32,
+			PrefixGroup: group, PrefixLen: prefixLen,
+		}
+	}
+	// group 1 warms the GPU cache, group 2 evicts it (spill to host),
+	// then group 1 returns — served from the host tier
+	res, err := srv.Run([]diffkv.Request{
+		mk(1, 1, 0), mk(2, 2, 30e6), mk(3, 1, 60e6),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := res.Offload
+	fmt.Printf("GPU cache of 1 group, 2 groups in play: %d spill(s) to host, %d host hit(s) (%d prefix tokens reused)\n",
+		m.PrefixSpills, m.PrefixHits, m.PrefixHitTokens)
+	fmt.Println("the returning group skipped its prefix recompute after one PCIe promotion")
 }

@@ -182,6 +182,7 @@ func (c *Cluster) dispatch(r workload.Request, acc *accumulator) {
 			QueueDepth:     e.QueueDepth(),
 			Running:        e.RunningCount(),
 			ResidentTokens: e.ResidentTokens(),
+			SwappedTokens:  e.SwappedTokens(),
 			ClockUs:        float64(e.Clock()),
 		}
 		if c.cfg.MaxQueueDepth > 0 && s.QueueDepth >= c.cfg.MaxQueueDepth {

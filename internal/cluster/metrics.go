@@ -74,6 +74,25 @@ type Metrics struct {
 	// PrefixCacheHitFrac is the fraction of completed requests' prompt
 	// tokens served from instance prefix caches.
 	PrefixCacheHitFrac float64
+
+	// Preemptions counts preemption events across all instances
+	// (recompute and swap recoveries); PreemptedRequests counts completed
+	// requests that were preempted at least once — with the per-request
+	// retry timestamps in serving.Completion this makes TTFT/TPOT under
+	// preemption honestly attributable.
+	Preemptions       int
+	PreemptedRequests int
+
+	// Host-tier offload activity summed over instances (zero when the
+	// tier is disabled): bytes swapped each way, PCIe stall time not
+	// hidden behind compute, the thrashing rate (fraction of swap-ins
+	// within the thrash window of their swap-out) and prefix-cache
+	// entries served back from host memory.
+	SwapOutBytes     int64
+	SwapInBytes      int64
+	SwapStallSeconds float64
+	ThrashRate       float64
+	HostPrefixHits   int
 }
 
 // Stuck counts dispatched requests that never completed. After a drained
@@ -116,6 +135,9 @@ func (a *accumulator) dispatch(inst int, r workload.Request) {
 func (a *accumulator) complete(inst int, cp serving.Completion) {
 	a.m.Completed++
 	a.m.PerInstance[inst].Completed++
+	if cp.Preemptions > 0 {
+		a.m.PreemptedRequests++
+	}
 	ttft := (cp.FirstTokenUs - cp.Req.ArrivalUs) / 1e6
 	tpot := 0.0
 	if cp.Req.GenLen > 0 {
@@ -135,6 +157,7 @@ func (a *accumulator) complete(inst int, cp serving.Completion) {
 func (a *accumulator) finish(engines []*serving.Engine) Metrics {
 	m := a.m
 	var makespanUs float64
+	var thrash, swapIns int
 	busy := make([]float64, len(engines))
 	for i, e := range engines {
 		if t := float64(e.Clock()); t > makespanUs {
@@ -142,6 +165,17 @@ func (a *accumulator) finish(engines []*serving.Engine) Metrics {
 		}
 		busy[i] = e.BusyTime().Seconds()
 		m.PerInstance[i].BusySeconds = busy[i]
+		r := e.Result()
+		m.Preemptions += r.Preemptions
+		m.SwapOutBytes += r.Offload.SwapOutBytes
+		m.SwapInBytes += r.Offload.SwapInBytes
+		m.SwapStallSeconds += r.OffloadStallSeconds
+		m.HostPrefixHits += r.Offload.PrefixHits
+		thrash += r.Offload.ThrashEvents
+		swapIns += r.Offload.SwapIns
+	}
+	if swapIns > 0 {
+		m.ThrashRate = float64(thrash) / float64(swapIns)
 	}
 	m.ElapsedSeconds = makespanUs / 1e6
 	if m.ElapsedSeconds > 0 {

@@ -15,6 +15,10 @@ type Snapshot struct {
 	Running int
 	// ResidentTokens sums the cached KV tokens of running sequences.
 	ResidentTokens int
+	// SwappedTokens sums the KV tokens of sequences the instance has
+	// swapped out to its host tier — latent load that will reclaim GPU
+	// pages before new admissions, which offload-aware policies weigh.
+	SwappedTokens int
 	// ClockUs is the instance's simulated clock.
 	ClockUs float64
 }
@@ -96,14 +100,18 @@ func (leastLoaded) Pick(_ workload.Request, snaps []Snapshot) int {
 	return best.ID
 }
 
-// less orders snapshots by load: (queued+running, resident tokens, ID).
+// less orders snapshots by load: (queued+running, resident+swapped tokens,
+// ID). Swapped tokens count as load — a host-resident sequence reclaims
+// GPU pages before any new admission runs — so the policy is offload-aware
+// without a separate mode.
 func less(a, b Snapshot) bool {
 	la, lb := a.QueueDepth+a.Running, b.QueueDepth+b.Running
 	if la != lb {
 		return la < lb
 	}
-	if a.ResidentTokens != b.ResidentTokens {
-		return a.ResidentTokens < b.ResidentTokens
+	ta, tb := a.ResidentTokens+a.SwappedTokens, b.ResidentTokens+b.SwappedTokens
+	if ta != tb {
+		return ta < tb
 	}
 	return a.ID < b.ID
 }

@@ -37,8 +37,9 @@ func TestOptsDefaults(t *testing.T) {
 }
 
 func TestRegistryComplete(t *testing.T) {
-	// every paper artifact, the ablations, and the cluster experiment
-	if len(Registry) != 17+7+1 {
+	// every paper artifact, the ablations, and the cluster + offload
+	// experiments
+	if len(Registry) != 17+7+2 {
 		t.Fatalf("registry has %d entries", len(Registry))
 	}
 	ids := IDs()

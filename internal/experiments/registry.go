@@ -29,6 +29,9 @@ var Registry = map[string]Runner{
 	"tab3":  Table3,
 	// beyond the paper: multi-instance cluster serving (DESIGN.md §7)
 	"cluster-routing": ClusterRouting,
+	// beyond the paper: host-memory KV offload under oversubscription
+	// (DESIGN.md §9)
+	"offload": Offload,
 	// design-choice ablations beyond the paper's headline results
 	// (DESIGN.md §6)
 	"abl-scan":     AblationScan,

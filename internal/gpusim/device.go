@@ -40,6 +40,12 @@ type Device struct {
 	PCIeBandwidth float64
 	// PCIeLatency is the fixed per-transfer latency, µs.
 	PCIeLatency Micros
+	// PCIeOverlapFrac is the fraction of a host-device transfer that can
+	// be hidden behind concurrent kernel execution (copy engines run
+	// asynchronously; the remainder stalls the stream on synchronization
+	// and page-table updates). Calibrated, not datasheet: transfers
+	// overlap well until they contend with the attention kernels for HBM.
+	PCIeOverlapFrac float64
 	// MemoryBytes is total device memory.
 	MemoryBytes int64
 	// CPUTokenOpMicros is the per-token bookkeeping cost of the on-CPU
@@ -57,16 +63,17 @@ type Device struct {
 // reproduces the paper's orders of magnitude.
 func L40() *Device {
 	return &Device{
-		Name:          "NVIDIA-L40",
-		SMs:           142,
-		LanesPerSM:    128,
-		HBMBandwidth:  864e3, // 864 GB/s
-		TensorTFLOPs:  165e6, // ~165 TFLOPs effective FP16
-		KernelLaunch:  8,
-		HostSync:      18,
-		PCIeBandwidth: 16e3, // 16 GB/s effective PCIe 4.0 x16
-		PCIeLatency:   10,
-		MemoryBytes:   48 << 30,
+		Name:            "NVIDIA-L40",
+		SMs:             142,
+		LanesPerSM:      128,
+		HBMBandwidth:    864e3, // 864 GB/s
+		TensorTFLOPs:    165e6, // ~165 TFLOPs effective FP16
+		KernelLaunch:    8,
+		HostSync:        18,
+		PCIeBandwidth:   16e3, // 16 GB/s effective PCIe 4.0 x16
+		PCIeLatency:     10,
+		PCIeOverlapFrac: 0.6,
+		MemoryBytes:     48 << 30,
 		// ~4.4 µs per token-region op on the CPU path, thread pool grows
 		// with batch up to 96 threads (matches the sublinear batch scaling
 		// in Fig. 13).
@@ -111,6 +118,7 @@ func A100() *Device {
 		HostSync:         18,
 		PCIeBandwidth:    25e3,
 		PCIeLatency:      10,
+		PCIeOverlapFrac:  0.6,
 		MemoryBytes:      80 << 30,
 		CPUTokenOpMicros: 4.4,
 		CPUThreadsMax:    96,
@@ -129,6 +137,7 @@ func H100() *Device {
 		HostSync:         18,
 		PCIeBandwidth:    50e3,
 		PCIeLatency:      8,
+		PCIeOverlapFrac:  0.7,
 		MemoryBytes:      80 << 30,
 		CPUTokenOpMicros: 4.4,
 		CPUThreadsMax:    96,

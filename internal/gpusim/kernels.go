@@ -102,6 +102,39 @@ func (d *Device) CPUMemoryManagement(tokenOps, regions, batch int) Micros {
 	return scan + xfer + d.HostSync
 }
 
+// PCIeTransfer returns the duration of one host-device DMA moving `bytes`
+// in either direction: the fixed per-transfer latency (doorbell, descriptor
+// fetch) plus the bandwidth term. The offload tier uses it for KV swap
+// traffic (D2H on swap-out, H2D on swap-in/prefetch).
+func (d *Device) PCIeTransfer(bytes float64) Micros {
+	if bytes <= 0 {
+		return 0
+	}
+	return d.PCIeLatency + Micros(bytes/d.PCIeBandwidth)
+}
+
+// TransferStall returns the portion of a host-device transfer that cannot
+// be hidden behind concurrent kernel execution of `compute` duration: copy
+// engines overlap up to PCIeOverlapFrac of the compute window, and whatever
+// exceeds it stalls the stream. This is the transfer time a serving step
+// actually pays.
+func (d *Device) TransferStall(xfer, compute Micros) Micros {
+	if xfer <= 0 {
+		return 0
+	}
+	overlap := d.PCIeOverlapFrac
+	if overlap < 0 {
+		overlap = 0
+	} else if overlap > 1 {
+		overlap = 1
+	}
+	hidden := Micros(overlap * float64(compute))
+	if hidden >= xfer {
+		return 0
+	}
+	return xfer - hidden
+}
+
 // SchedulerOverhead is the per-step host-side scheduling cost for a batch.
 func (d *Device) SchedulerOverhead(batch int) Micros {
 	return Micros(40 + 2*float64(batch))

@@ -83,13 +83,9 @@ func (hc *HeadCache) KVBytes() int {
 		hc.loTokens*hc.mgr.cfg.LoPrec.TokenBytes(dim)
 }
 
-// AppendToken quantizes (key, val) into the tier, allocating and
-// configuring a fresh unified page when the tier's last page is full.
-// Materialized mode only.
-func (hc *HeadCache) AppendToken(level Level, key, val []float32, score float32, pos int32) error {
-	if !hc.mgr.cfg.Materialize {
-		return fmt.Errorf("kvcache: AppendToken requires a materialized manager")
-	}
+// appendPage returns the tier's last page, allocating and configuring a
+// fresh unified page when it is missing or full.
+func (hc *HeadCache) appendPage(level Level) (*Page, error) {
 	n := hc.pageCount(level)
 	var p *Page
 	if n > 0 {
@@ -98,7 +94,7 @@ func (hc *HeadCache) AppendToken(level Level, key, val []float32, score float32,
 	if p == nil || p.Full() {
 		id, err := hc.mgr.free.Alloc()
 		if err != nil {
-			return err
+			return nil, err
 		}
 		prec := hc.mgr.cfg.HiPrec
 		if level == LevelLo {
@@ -112,10 +108,43 @@ func (hc *HeadCache) AppendToken(level Level, key, val []float32, score float32,
 		}
 		if err != nil {
 			hc.mgr.free.Recycle(id)
-			return err
+			return nil, err
 		}
 	}
+	return p, nil
+}
+
+// AppendToken quantizes (key, val) into the tier, allocating and
+// configuring a fresh unified page when the tier's last page is full.
+// Materialized mode only.
+func (hc *HeadCache) AppendToken(level Level, key, val []float32, score float32, pos int32) error {
+	if !hc.mgr.cfg.Materialize {
+		return fmt.Errorf("kvcache: AppendToken requires a materialized manager")
+	}
+	p, err := hc.appendPage(level)
+	if err != nil {
+		return err
+	}
 	p.Append(key, val, score, pos)
+	if level == LevelHi {
+		hc.hiTokens++
+	} else {
+		hc.loTokens++
+	}
+	return nil
+}
+
+// AppendRawToken copies an already-quantized token into the tier — the
+// swap-in restore path (see Page.AppendRaw). Materialized mode only.
+func (hc *HeadCache) AppendRawToken(level Level, key, val []byte, kScale, kZero, vScale, vZero, score float32, pos int32) error {
+	if !hc.mgr.cfg.Materialize {
+		return fmt.Errorf("kvcache: AppendRawToken requires a materialized manager")
+	}
+	p, err := hc.appendPage(level)
+	if err != nil {
+		return err
+	}
+	p.AppendRaw(key, val, kScale, kZero, vScale, vZero, score, pos)
 	if level == LevelHi {
 		hc.hiTokens++
 	} else {

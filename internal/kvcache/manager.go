@@ -352,6 +352,100 @@ func (m *Manager) GenCompact(seqIDs []int, demands [][]GenDemand) (CompactStats,
 	return stats, nil
 }
 
+// HeadCounts reports every head's per-tier token counts — the state a host
+// offload tier captures to swap the sequence out. When buf has sufficient
+// capacity it is reused (the steady-state swap path allocates nothing
+// here); otherwise a new slice is returned.
+func (m *Manager) HeadCounts(seqID int, buf []HeadDemand) ([]HeadDemand, error) {
+	sc, ok := m.seqs[seqID]
+	if !ok {
+		return nil, fmt.Errorf("kvcache: unknown sequence %d", seqID)
+	}
+	if cap(buf) < len(sc.Heads) {
+		buf = make([]HeadDemand, len(sc.Heads))
+	}
+	buf = buf[:len(sc.Heads)]
+	for i, hc := range sc.Heads {
+		buf[i] = HeadDemand{HiTokens: hc.hiTokens, LoTokens: hc.loTokens}
+	}
+	return buf, nil
+}
+
+// SeqKVBytes returns the token-exact payload+metadata bytes of a sequence
+// across all heads — the quantity a swap must move over PCIe. Compressed
+// tiers make this smaller than the FP16 equivalent, which is exactly why
+// swapping a compressed sequence is cheaper.
+func (m *Manager) SeqKVBytes(seqID int) (int64, error) {
+	sc, ok := m.seqs[seqID]
+	if !ok {
+		return 0, fmt.Errorf("kvcache: unknown sequence %d", seqID)
+	}
+	var b int64
+	for _, hc := range sc.Heads {
+		b += int64(hc.KVBytes())
+	}
+	return b, nil
+}
+
+// AdoptCounts registers seqID and allocates exactly the pages needed to
+// hold the given per-head tier counts — the swap-in restore path: a
+// sequence whose counts were captured by HeadCounts before release is
+// re-admitted with an identical page-table shape. Counts-only mode;
+// materialized payloads are restored via ReadSnapshot, which allocates its
+// own pages. On allocation failure nothing is registered.
+func (m *Manager) AdoptCounts(seqID int, demands []HeadDemand) (CompactStats, error) {
+	if m.cfg.Materialize {
+		return CompactStats{}, fmt.Errorf("kvcache: AdoptCounts requires a counts-only manager (use ReadSnapshot)")
+	}
+	var need int32
+	for _, d := range demands {
+		if d.HiTokens < 0 || d.LoTokens < 0 {
+			return CompactStats{}, fmt.Errorf("kvcache: negative adopt demand (%d,%d)", d.HiTokens, d.LoTokens)
+		}
+		need += int32(pagesNeeded(d.HiTokens, m.capHi) + pagesNeeded(d.LoTokens, m.capLo))
+	}
+	if int(need) > m.free.Free() {
+		return CompactStats{}, fmt.Errorf("kvcache: adopt of %d pages exceeds %d free", need, m.free.Free())
+	}
+	sc, err := m.AddSequence(seqID, len(demands))
+	if err != nil {
+		return CompactStats{}, err
+	}
+	stats := CompactStats{Regions: len(demands)}
+	for i, hc := range sc.Heads {
+		d := demands[i]
+		hiPages := pagesNeeded(d.HiTokens, m.capHi)
+		loPages := pagesNeeded(d.LoTokens, m.capLo)
+		push := func(pages int, prec quant.Precision, pushFn func(int32) error) error {
+			for p := 0; p < pages; p++ {
+				id, err := m.free.Alloc()
+				if err != nil {
+					return err
+				}
+				m.pool.Configure(id, prec)
+				if err := pushFn(id); err != nil {
+					m.free.Recycle(id)
+					return err
+				}
+			}
+			return nil
+		}
+		if err := push(hiPages, m.cfg.HiPrec, hc.table.PushHi); err != nil {
+			_ = m.ReleaseSequence(seqID)
+			return CompactStats{}, err
+		}
+		if err := push(loPages, m.cfg.LoPrec, hc.table.PushLo); err != nil {
+			_ = m.ReleaseSequence(seqID)
+			return CompactStats{}, err
+		}
+		hc.hiTokens = d.HiTokens
+		hc.loTokens = d.LoTokens
+		hc.markCounts(hiPages, loPages, d.HiTokens, d.LoTokens)
+		stats.PagesAllocated += hiPages + loPages
+	}
+	return stats, nil
+}
+
 func pagesNeeded(tokens, perPage int) int {
 	if tokens <= 0 {
 		return 0

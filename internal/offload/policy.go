@@ -1,0 +1,101 @@
+package offload
+
+import "fmt"
+
+// Recovery is the action a preemption policy applies to its victim.
+type Recovery int
+
+const (
+	// RecoverRecompute discards the victim's KV and restarts it from
+	// scratch later (vLLM-style recompute preemption).
+	RecoverRecompute Recovery = iota
+	// RecoverSwap moves the victim's pages to the host tier over PCIe and
+	// resumes it from where it stopped.
+	RecoverSwap
+	// RecoverCompressSwap re-quantizes the victim entirely into the
+	// low-precision tier first, then swaps the smaller payload.
+	RecoverCompressSwap
+)
+
+// Recovery policy names accepted by PolicyFor.
+const (
+	PolicyRecompute    = "recompute"
+	PolicySwap         = "swap"
+	PolicyCompressSwap = "compress-swap"
+)
+
+// Policies lists the available preemption policy names.
+func Policies() []string {
+	return []string{PolicyRecompute, PolicySwap, PolicyCompressSwap}
+}
+
+// Victim describes one preemption candidate to a policy.
+type Victim struct {
+	SeqID     int
+	ArrivalUs float64
+	// Tokens is the candidate's resident KV tokens (prompt + generated).
+	Tokens int
+	// Generated counts output tokens produced so far — the work recompute
+	// would throw away.
+	Generated int
+}
+
+// RecoveryPolicy is the pluggable victim/recovery policy the serving
+// engine consults when a step runs out of KV pages. PickVictim must be
+// deterministic: equal inputs yield equal picks.
+type RecoveryPolicy interface {
+	Name() string
+	// PickVictim returns the index (into cands) of the sequence to
+	// preempt. cands is never empty.
+	PickVictim(cands []Victim) int
+	// Recovery returns the recovery action attempted for the victim; the
+	// engine falls back to recompute when a swap cannot proceed (host
+	// tier full or disabled).
+	Recovery() Recovery
+}
+
+// youngestVictim picks the latest arrival (ties: highest SeqID) — the
+// vLLM ordering: the request that joined last has the least sunk work and
+// the best chance of re-admission soon.
+func youngestVictim(cands []Victim) int {
+	best := 0
+	for i := 1; i < len(cands); i++ {
+		c, b := cands[i], cands[best]
+		if c.ArrivalUs > b.ArrivalUs || (c.ArrivalUs == b.ArrivalUs && c.SeqID > b.SeqID) {
+			best = i
+		}
+	}
+	return best
+}
+
+type recomputePolicy struct{}
+
+func (recomputePolicy) Name() string              { return PolicyRecompute }
+func (recomputePolicy) PickVictim(c []Victim) int { return youngestVictim(c) }
+func (recomputePolicy) Recovery() Recovery        { return RecoverRecompute }
+
+type swapPolicy struct{}
+
+func (swapPolicy) Name() string              { return PolicySwap }
+func (swapPolicy) PickVictim(c []Victim) int { return youngestVictim(c) }
+func (swapPolicy) Recovery() Recovery        { return RecoverSwap }
+
+type compressSwapPolicy struct{}
+
+func (compressSwapPolicy) Name() string              { return PolicyCompressSwap }
+func (compressSwapPolicy) PickVictim(c []Victim) int { return youngestVictim(c) }
+func (compressSwapPolicy) Recovery() Recovery        { return RecoverCompressSwap }
+
+// PolicyFor returns the named recovery policy ("" selects recompute).
+func PolicyFor(name string) (RecoveryPolicy, error) {
+	switch name {
+	case "", PolicyRecompute:
+		return recomputePolicy{}, nil
+	case PolicySwap:
+		return swapPolicy{}, nil
+	case PolicyCompressSwap:
+		return compressSwapPolicy{}, nil
+	default:
+		return nil, fmt.Errorf("offload: unknown preemption policy %q (want one of %v)", name, Policies())
+	}
+}

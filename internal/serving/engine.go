@@ -22,6 +22,7 @@ import (
 	"diffkv/internal/gpusim"
 	"diffkv/internal/kvcache"
 	"diffkv/internal/mathx"
+	"diffkv/internal/offload"
 	"diffkv/internal/synth"
 	"diffkv/internal/trace"
 	"diffkv/internal/workload"
@@ -58,6 +59,19 @@ type Config struct {
 	// compressor work). Memory sharing of the cached prefix is not
 	// modeled — only the compute saving. 0 disables.
 	PrefixCacheGroups int
+	// PreemptPolicy selects the victim/recovery policy applied when a
+	// step runs out of KV pages: "recompute" (restart from scratch, the
+	// default), "swap" (offload the victim's pages to the host tier over
+	// PCIe and resume where it stopped), or "compress-swap" (re-quantize
+	// the victim entirely into the low-precision tier, then swap the
+	// smaller payload). Swap policies require UseManager and
+	// HostMemoryBytes > 0.
+	PreemptPolicy string
+	// HostMemoryBytes sizes the host-memory offload tier (0 disables it;
+	// requires UseManager). With PrefixCacheGroups enabled, prefix groups
+	// evicted from the GPU prefix cache spill to the host tier instead of
+	// vanishing, and admissions consult it on a GPU miss.
+	HostMemoryBytes int64
 	// Tracer receives admission/preemption/completion/step events when
 	// non-nil (see the trace package).
 	Tracer trace.Tracer
@@ -86,20 +100,33 @@ func (c *Config) validate() error {
 	if c.LoFrac < 0 {
 		c.LoFrac = 0.25
 	}
+	if c.HostMemoryBytes > 0 && !c.UseManager {
+		return fmt.Errorf("serving: host offload tier requires UseManager")
+	}
+	if c.PreemptPolicy != "" && c.PreemptPolicy != offload.PolicyRecompute &&
+		(c.HostMemoryBytes <= 0 || !c.UseManager) {
+		return fmt.Errorf("serving: preempt policy %q requires UseManager and HostMemoryBytes > 0",
+			c.PreemptPolicy)
+	}
 	return nil
 }
 
-// StepBreakdown accumulates per-component time (Fig. 14).
+// StepBreakdown accumulates per-component time (Fig. 14, extended with the
+// offload tier's PCIe stalls).
 type StepBreakdown struct {
 	Scheduler  gpusim.Micros
 	MemMgmt    gpusim.Micros
 	Compressor gpusim.Micros
 	ModelExec  gpusim.Micros
+	// Offload is host-device transfer time not hidden behind compute:
+	// D2H stalls of swap-outs and H2D stalls of swap-ins / host prefix
+	// promotions (0 when the host tier is disabled).
+	Offload gpusim.Micros
 }
 
 // Total returns the summed step time.
 func (s StepBreakdown) Total() gpusim.Micros {
-	return s.Scheduler + s.MemMgmt + s.Compressor + s.ModelExec
+	return s.Scheduler + s.MemMgmt + s.Compressor + s.ModelExec + s.Offload
 }
 
 // Result summarizes one serving run.
@@ -119,6 +146,22 @@ type Result struct {
 	Prompt, Gen StepBreakdown
 	// PromptSteps / GenSteps count executed steps per phase.
 	PromptSteps, GenSteps int
+	// GoodputTokensPerSec counts only completed requests' generated
+	// tokens per simulated second: work a recompute preemption throws
+	// away and regenerates is excluded, unlike Throughput.
+	GoodputTokensPerSec float64
+	// Preemptions counts preemption events across the run (recompute and
+	// swap recoveries alike).
+	Preemptions int
+	// OffloadTransferSeconds is total PCIe transfer time of swap and
+	// prefix-promotion traffic before overlap; OffloadStallSeconds is the
+	// portion not hidden behind compute (the Offload component summed
+	// over both phases — 0 when transfers fully overlap).
+	OffloadTransferSeconds float64
+	OffloadStallSeconds    float64
+	// Offload snapshots the host-tier counters (zero-valued when the
+	// tier is disabled).
+	Offload offload.Metrics
 }
 
 // Completion records one finished request with its latency-defining
@@ -134,6 +177,13 @@ type Completion struct {
 	// CachedPrefixTokens counts prompt tokens served from the prefix
 	// cache (0 unless PrefixCacheGroups is enabled and the group was hot).
 	CachedPrefixTokens int
+	// Preemptions is how many times this request was preempted before
+	// completing (recompute and swap recoveries alike).
+	Preemptions int
+	// RetryUs records the clock of each recovery re-admission — a
+	// recompute re-admission or a swap-in — so TTFT/TPOT under preemption
+	// are honestly attributable (nil when never preempted).
+	RetryUs []float64
 }
 
 type seqState struct {
@@ -156,24 +206,34 @@ type prefixEntry struct {
 type Engine struct {
 	cfg     Config
 	dev     *gpusim.Device
-	mgr     *kvcache.Manager
+	mgr     offload.KVStore      // nil in traits mode
+	tiered  *offload.TieredStore // non-nil when the host tier is enabled
+	rpolicy offload.RecoveryPolicy
 	headsN  int
 	rng     *mathx.RNG
 	kvToken float64 // resident KV bytes per cached token (traits mode)
 	capTok  int     // token capacity (traits mode)
+	capHiPg int     // tokens per high-precision page (manager mode)
 
 	// incremental run state (Submit / Step / Drain)
 	pending      []workload.Request
 	running      []*seqState
+	swappedQ     []*seqState // swapped-out sequences awaiting swap-in
 	clock        gpusim.Micros
 	admitBlocked bool
 	steps        int
 	genTokens    int64
+	doneTokens   int64 // generated tokens of completed requests only
+	preemptTotal int
 	batchTimeUs  float64
 	latencySum   float64
 	busyUs       gpusim.Micros
 	agg          Result
 	prefix       map[int]*prefixEntry
+	pendingXfer  gpusim.Micros // H2D prefetch charged to the next step
+	xferUs       gpusim.Micros // total PCIe transfer time, pre-overlap
+	preemptN     map[int]int
+	retryUs      map[int][]float64
 
 	// step scratch: buffers reused across Step calls so the scheduler's
 	// steady state allocates nothing (an Engine is single-goroutine)
@@ -183,6 +243,7 @@ type Engine struct {
 	genIDs     []int
 	genDemands [][]kvcache.GenDemand
 	genFlat    []kvcache.GenDemand
+	victimBuf  []offload.Victim
 }
 
 // NewEngine builds a serving engine.
@@ -194,6 +255,11 @@ func NewEngine(cfg Config) (*Engine, error) {
 	if cfg.PrefixCacheGroups > 0 {
 		e.prefix = make(map[int]*prefixEntry)
 	}
+	rpolicy, err := offload.PolicyFor(cfg.PreemptPolicy)
+	if err != nil {
+		return nil, err
+	}
+	e.rpolicy = rpolicy
 	e.headsN = cfg.Model.Layers * cfg.Model.KVHeads
 
 	weights := cfg.Model.ParamsB * 2e9
@@ -217,7 +283,17 @@ func NewEngine(cfg Config) (*Engine, error) {
 		if err != nil {
 			return nil, err
 		}
-		e.mgr = mgr
+		if cfg.HostMemoryBytes > 0 {
+			ts, err := offload.NewTieredStore(mgr, offload.Config{HostBytes: cfg.HostMemoryBytes})
+			if err != nil {
+				return nil, err
+			}
+			e.tiered = ts
+			e.mgr = ts
+		} else {
+			e.mgr = mgr
+		}
+		e.capHiPg = mgr.TokensPerHiPage()
 	} else {
 		e.kvToken = float64(cfg.Model.KVBytesPerTokenFP16()) * cfg.Traits.ResidentMemFrac
 		e.capTok = int(budget / e.kvToken)
@@ -264,13 +340,16 @@ func (e *Engine) Submit(r workload.Request) {
 	e.pending[i] = r
 }
 
-// HasWork reports whether any requests are queued or in flight.
-func (e *Engine) HasWork() bool { return len(e.running) > 0 || len(e.pending) > 0 }
+// HasWork reports whether any requests are queued, in flight or swapped
+// out to the host tier.
+func (e *Engine) HasWork() bool {
+	return len(e.running) > 0 || len(e.pending) > 0 || len(e.swappedQ) > 0
+}
 
 // NextTime returns the simulated time at which the next Step would begin,
 // and false when the engine has no work.
 func (e *Engine) NextTime() (gpusim.Micros, bool) {
-	if len(e.running) > 0 {
+	if len(e.running) > 0 || len(e.swappedQ) > 0 {
 		return e.clock, true
 	}
 	if len(e.pending) > 0 {
@@ -306,6 +385,38 @@ func (e *Engine) ResidentTokens() int {
 // (the engine is idle for the remainder of its clock).
 func (e *Engine) BusyTime() gpusim.Micros { return e.busyUs }
 
+// SwappedCount returns the number of sequences currently swapped out to
+// the host tier.
+func (e *Engine) SwappedCount() int { return len(e.swappedQ) }
+
+// SwappedTokens sums the KV tokens of swapped-out sequences — load that
+// is latent rather than GPU-resident, which offload-aware routing weighs
+// separately from ResidentTokens.
+func (e *Engine) SwappedTokens() int {
+	var n int
+	for _, st := range e.swappedQ {
+		n += st.req.PromptLen + st.generated
+	}
+	return n
+}
+
+// notePreempt records a preemption event for request id.
+func (e *Engine) notePreempt(id int) {
+	if e.preemptN == nil {
+		e.preemptN = make(map[int]int)
+	}
+	e.preemptN[id]++
+	e.preemptTotal++
+}
+
+// noteRetry records a recovery re-admission timestamp for request id.
+func (e *Engine) noteRetry(id int) {
+	if e.retryUs == nil {
+		e.retryUs = make(map[int][]float64)
+	}
+	e.retryUs[id] = append(e.retryUs[id], float64(e.clock))
+}
+
 // CachedPrefixTokens reports how many tokens of the given prefix group are
 // resident in the prefix cache (0 when disabled or evicted).
 func (e *Engine) CachedPrefixTokens(group int) int {
@@ -315,17 +426,46 @@ func (e *Engine) CachedPrefixTokens(group int) int {
 	return 0
 }
 
-// admit moves due pending requests into the running batch while capacity
-// allows. After a preemption the capacity heuristic has proven optimistic,
-// so admissions hold until a completion frees real pages (admitBlocked) —
+// admit moves due work into the running batch while capacity allows.
+// Swapped-out sequences resume first (swap-in preserves their progress and
+// they hold pinned host memory), then due pending requests are admitted.
+// After a preemption the capacity heuristic has proven optimistic, so
+// admissions hold until a completion frees real pages (admitBlocked) —
 // except onto an empty engine, where progress must be guaranteed.
 func (e *Engine) admit() error {
+	// Swapped sequences get the first shot at freed pages (they resume
+	// with their progress intact), but a swapped sequence that does not
+	// fit yet must not convoy smaller fresh admissions behind it — the
+	// pending loop below still runs.
+	for len(e.swappedQ) > 0 {
+		if e.admitBlocked && len(e.running) > 0 {
+			break
+		}
+		st := e.swappedQ[0]
+		needed := float64(st.req.PromptLen + st.generated + (st.req.GenLen-st.generated)/2)
+		if len(e.running) > 0 && !e.fitsTokens(needed) {
+			break
+		}
+		res, err := e.tiered.SwapIn(st.req.ID, float64(e.clock))
+		if err != nil {
+			break // GPU pages not yet available; retry after a completion
+		}
+		e.swappedQ = e.swappedQ[1:]
+		// H2D prefetch: the transfer stall is charged to the next step,
+		// overlapped against its compute
+		xfer := e.dev.PCIeTransfer(float64(res.Bytes))
+		e.pendingXfer += xfer
+		e.xferUs += xfer
+		e.running = append(e.running, st)
+		e.noteRetry(st.req.ID)
+		e.emit(trace.Event{Kind: trace.KindSwapIn, TimeUs: float64(e.clock), Seq: st.req.ID})
+	}
 	for len(e.pending) > 0 && float64(e.clock) >= e.pending[0].ArrivalUs {
 		r := e.pending[0]
 		if e.admitBlocked && len(e.running) > 0 {
 			break
 		}
-		if len(e.running) > 0 && !e.hasCapacityFor(e.running, r) {
+		if len(e.running) > 0 && !e.hasCapacityFor(r) {
 			break
 		}
 		st := &seqState{req: r}
@@ -333,7 +473,21 @@ func (e *Engine) admit() error {
 			st.req.GenLen = e.cfg.MaxGenLen
 		}
 		if e.prefix != nil && r.PrefixGroup != 0 {
-			if ent, ok := e.prefix[r.PrefixGroup]; ok {
+			ent, ok := e.prefix[r.PrefixGroup]
+			if !ok && e.tiered != nil {
+				// GPU prefix miss: consult the host tier and promote a
+				// spilled entry back, paying H2D for its compressed bytes
+				if tok, bytes, hok := e.tiered.TakePrefix(r.PrefixGroup, float64(e.clock)); hok {
+					ent = e.insertPrefix(r.PrefixGroup)
+					ent.tokens = tok
+					xfer := e.dev.PCIeTransfer(float64(bytes))
+					e.pendingXfer += xfer
+					e.xferUs += xfer
+					e.emit(trace.Event{Kind: trace.KindHostPrefixHit, TimeUs: float64(e.clock), Seq: r.ID})
+					ok = true
+				}
+			}
+			if ok {
 				c := ent.tokens
 				if c > r.PrefixLen {
 					c = r.PrefixLen
@@ -355,14 +509,16 @@ func (e *Engine) admit() error {
 		}
 		e.running = append(e.running, st)
 		e.pending = e.pending[1:]
+		if e.preemptN[r.ID] > 0 {
+			e.noteRetry(r.ID)
+		}
 		e.emit(trace.Event{Kind: trace.KindAdmit, TimeUs: float64(e.clock), Seq: st.req.ID})
 	}
 	return nil
 }
 
 // touchPrefix records a completed prompt's shared prefix as resident,
-// evicting the least-recently-used group beyond capacity (ties broken by
-// lowest group ID for determinism).
+// evicting the least-recently-used group beyond capacity.
 func (e *Engine) touchPrefix(st *seqState) {
 	if e.prefix == nil || st.req.PrefixGroup == 0 {
 		return
@@ -373,28 +529,42 @@ func (e *Engine) touchPrefix(st *seqState) {
 	}
 	ent := e.prefix[st.req.PrefixGroup]
 	if ent == nil {
-		ent = &prefixEntry{}
-		e.prefix[st.req.PrefixGroup] = ent
-		for len(e.prefix) > e.cfg.PrefixCacheGroups {
-			victim, victimT := -1, gpusim.Micros(math.MaxInt64)
-			for g, en := range e.prefix {
-				if g == st.req.PrefixGroup {
-					continue
-				}
-				if en.lastUse < victimT || (en.lastUse == victimT && (victim == -1 || g < victim)) {
-					victim, victimT = g, en.lastUse
-				}
-			}
-			if victim < 0 {
-				break
-			}
-			delete(e.prefix, victim)
-		}
+		ent = e.insertPrefix(st.req.PrefixGroup)
 	}
 	if n > ent.tokens {
 		ent.tokens = n
 	}
 	ent.lastUse = e.clock
+}
+
+// insertPrefix adds a GPU prefix-cache entry for group, evicting the
+// least-recently-used groups beyond capacity (ties broken by lowest group
+// ID for determinism). When the host tier is enabled, evicted entries
+// spill there with their compressed byte footprint instead of vanishing.
+func (e *Engine) insertPrefix(group int) *prefixEntry {
+	ent := &prefixEntry{}
+	e.prefix[group] = ent
+	for len(e.prefix) > e.cfg.PrefixCacheGroups {
+		victim, victimT := -1, gpusim.Micros(math.MaxInt64)
+		for g, en := range e.prefix {
+			if g == group {
+				continue
+			}
+			if en.lastUse < victimT || (en.lastUse == victimT && (victim == -1 || g < victim)) {
+				victim, victimT = g, en.lastUse
+			}
+		}
+		if victim < 0 {
+			break
+		}
+		if e.tiered != nil {
+			vic := e.prefix[victim]
+			bytes := int64(float64(vic.tokens) * e.blendedTokenBytes() * float64(e.headsN))
+			e.tiered.SpillPrefix(victim, vic.tokens, bytes, float64(e.clock))
+		}
+		delete(e.prefix, victim)
+	}
+	return ent
 }
 
 // Step executes one scheduler iteration: idle-advance the clock to the
@@ -404,7 +574,7 @@ func (e *Engine) touchPrefix(st *seqState) {
 // Calling Step with no due work is a no-op returning (nil, nil).
 func (e *Engine) Step() ([]Completion, error) {
 	e.steps++
-	if len(e.running) == 0 {
+	if len(e.running) == 0 && len(e.swappedQ) == 0 {
 		if len(e.pending) == 0 {
 			return nil, nil
 		}
@@ -433,46 +603,46 @@ func (e *Engine) Step() ([]Completion, error) {
 	e.promptBuf, e.genBuf = promptSeqs, genSeqs
 
 	var bd StepBreakdown
-	var preempted []*seqState
+	var preempted, swapped []*seqState
 	var err error
-	if len(promptSeqs) > 0 {
+	isPrompt := len(promptSeqs) > 0
+	if isPrompt {
 		bd, preempted, err = e.promptStep(promptSeqs)
+	} else {
+		bd, preempted, swapped, err = e.genStep(genSeqs)
+	}
+	if err != nil {
+		// even on a fatal step error the victims already processed must be
+		// booked (released victims requeued, swapped victims queued for
+		// swap-in) so a caller that keeps the engine alive sees consistent
+		// state: nothing both host-resident and running, no pinned host
+		// bytes without a swappedQ entry
+		e.recordPreemptions(preempted, swapped)
+		return nil, err
+	}
+	// H2D prefetch stall from swap-ins and host prefix promotions admitted
+	// before this step, overlapped against its compute
+	if e.pendingXfer > 0 {
+		bd.Offload += e.dev.TransferStall(e.pendingXfer, bd.ModelExec+bd.Compressor)
+		e.pendingXfer = 0
+	}
+	if isPrompt {
 		e.agg.Prompt.Scheduler += bd.Scheduler
 		e.agg.Prompt.MemMgmt += bd.MemMgmt
 		e.agg.Prompt.Compressor += bd.Compressor
 		e.agg.Prompt.ModelExec += bd.ModelExec
+		e.agg.Prompt.Offload += bd.Offload
 		e.agg.PromptSteps++
 	} else {
-		bd, preempted, err = e.genStep(genSeqs)
 		e.agg.Gen.Scheduler += bd.Scheduler
 		e.agg.Gen.MemMgmt += bd.MemMgmt
 		e.agg.Gen.Compressor += bd.Compressor
 		e.agg.Gen.ModelExec += bd.ModelExec
+		e.agg.Gen.Offload += bd.Offload
 		e.agg.GenSteps++
-		e.genTokens += int64(len(genSeqs) - len(preempted))
+		e.genTokens += int64(len(genSeqs) - len(preempted) - len(swapped))
 	}
-	if err != nil {
-		return nil, err
-	}
-	if len(preempted) > 0 {
-		// preempted sequences restart from scratch: back to pending
-		drop := make(map[*seqState]bool, len(preempted))
-		var requeued []workload.Request
-		for _, st := range preempted {
-			drop[st] = true
-			requeued = append(requeued, st.req)
-			e.emit(trace.Event{Kind: trace.KindPreempt, TimeUs: float64(e.clock), Seq: st.req.ID})
-		}
-		var kept []*seqState
-		for _, st := range e.running {
-			if !drop[st] {
-				kept = append(kept, st)
-			}
-		}
-		e.running = kept
-		e.pending = append(requeued, e.pending...)
-		e.admitBlocked = true
-	}
+	e.recordPreemptions(preempted, swapped)
 	stepTime := bd.Total()
 	e.clock += stepTime
 	e.busyUs += stepTime
@@ -515,18 +685,59 @@ func (e *Engine) Step() ([]Completion, error) {
 					return done, err
 				}
 			}
-			done = append(done, Completion{
+			e.doneTokens += int64(st.req.GenLen)
+			cp := Completion{
 				Req:                st.req,
 				FirstTokenUs:       st.firstTokUs,
 				DoneUs:             float64(e.clock),
 				CachedPrefixTokens: st.cached,
-			})
+			}
+			if n := e.preemptN[st.req.ID]; n > 0 {
+				cp.Preemptions = n
+				cp.RetryUs = e.retryUs[st.req.ID]
+				delete(e.preemptN, st.req.ID)
+				delete(e.retryUs, st.req.ID)
+			}
+			done = append(done, cp)
 			continue
 		}
 		still = append(still, st)
 	}
 	e.running = still
 	return done, nil
+}
+
+// recordPreemptions books this step's victims: recompute victims go back
+// to pending (restart from scratch), swap victims join the swapped queue
+// (resume via swap-in), both leave the running set, and admissions hold
+// until a completion frees real pages.
+func (e *Engine) recordPreemptions(preempted, swapped []*seqState) {
+	if len(preempted)+len(swapped) == 0 {
+		return
+	}
+	drop := make(map[*seqState]bool, len(preempted)+len(swapped))
+	var requeued []workload.Request
+	for _, st := range preempted {
+		drop[st] = true
+		requeued = append(requeued, st.req)
+		e.notePreempt(st.req.ID)
+		e.emit(trace.Event{Kind: trace.KindPreempt, TimeUs: float64(e.clock), Seq: st.req.ID})
+	}
+	for _, st := range swapped {
+		drop[st] = true
+		e.swappedQ = append(e.swappedQ, st)
+		e.notePreempt(st.req.ID)
+		e.emit(trace.Event{Kind: trace.KindSwapOut, TimeUs: float64(e.clock), Seq: st.req.ID})
+	}
+	var kept []*seqState
+	for _, st := range e.running {
+		if !drop[st] {
+			kept = append(kept, st)
+		}
+	}
+	e.running = kept
+	e.pending = append(requeued, e.pending...)
+	e.admitBlocked = true
 }
 
 // Drain steps the engine until all submitted work completes (or the step
@@ -547,10 +758,17 @@ func (e *Engine) Result() Result {
 	res.ElapsedSeconds = e.clock.Seconds()
 	if res.ElapsedSeconds > 0 {
 		res.Throughput = float64(e.genTokens) / res.ElapsedSeconds
+		res.GoodputTokensPerSec = float64(e.doneTokens) / res.ElapsedSeconds
 		res.AvgBatch = e.batchTimeUs / float64(e.clock)
 	}
 	if res.Completed > 0 {
 		res.AvgPerTokenLatency = e.latencySum / float64(res.Completed)
+	}
+	res.Preemptions = e.preemptTotal
+	res.OffloadTransferSeconds = e.xferUs.Seconds()
+	res.OffloadStallSeconds = (res.Prompt.Offload + res.Gen.Offload).Seconds()
+	if e.tiered != nil {
+		res.Offload = e.tiered.Metrics()
 	}
 	return res
 }
@@ -570,11 +788,38 @@ func (e *Engine) Run(reqs []workload.Request) (Result, error) {
 
 // hasCapacityFor conservatively checks that admitting r keeps usage under
 // the high watermark (85%), accounting for the tokens running sequences
-// will still generate.
-func (e *Engine) hasCapacityFor(running []*seqState, r workload.Request) bool {
-	needed := float64(r.PromptLen + r.GenLen/2)
+// will still generate. Manager mode adds a page-granular prompt check:
+// PromptCompact's conservative allocation (every head at ceil(prompt/
+// capHi) pages) must fit the free pool alongside the other not-yet-run
+// prompts, or the admission would only bounce off a prompt preemption —
+// queueing the request is strictly better than admitting and restarting
+// it.
+func (e *Engine) hasCapacityFor(r workload.Request) bool {
+	if !e.fitsTokens(float64(r.PromptLen + r.GenLen/2)) {
+		return false
+	}
+	if e.mgr == nil {
+		return true
+	}
+	reserved := e.promptPages(r.PromptLen)
+	for _, st := range e.running {
+		if !st.promptDone {
+			reserved += e.promptPages(st.req.PromptLen)
+		}
+	}
+	return reserved <= e.mgr.FreePages()*9/10
+}
+
+// promptPages is the conservative page demand of one prompt admission.
+func (e *Engine) promptPages(promptLen int) int {
+	return (promptLen + e.capHiPg - 1) / e.capHiPg * e.headsN
+}
+
+// fitsTokens checks whether needed more tokens keep usage under the high
+// watermark given the running set's projected demand.
+func (e *Engine) fitsTokens(needed float64) bool {
 	var current float64
-	for _, st := range running {
+	for _, st := range e.running {
 		current += float64(st.req.PromptLen + st.generated + (st.req.GenLen-st.generated)/2)
 	}
 	var capTok float64
@@ -651,7 +896,7 @@ func (e *Engine) promptStep(seqs []*seqState) (StepBreakdown, []*seqState, error
 			if err != nil {
 				// out of pages: recompute-preempt this sequence
 				if rerr := e.mgr.ReleaseSequence(st.req.ID); rerr != nil {
-					return bd, nil, rerr
+					return bd, preempted, rerr
 				}
 				preempted = append(preempted, st)
 				continue
@@ -690,9 +935,12 @@ func (e *Engine) promptStep(seqs []*seqState) (StepBreakdown, []*seqState, error
 	return bd, preempted, nil
 }
 
-// genStep runs one batched generation step, returning any sequences
-// preempted for lack of pages.
-func (e *Engine) genStep(seqs []*seqState) (StepBreakdown, []*seqState, error) {
+// genStep runs one batched generation step. It returns the sequences
+// preempted for lack of pages, split by recovery: recompute victims
+// (restart from scratch) and swap victims (offloaded to the host tier,
+// resumable). The split is decided by the configured RecoveryPolicy, with
+// recompute as the fallback when the host tier refuses a swap.
+func (e *Engine) genStep(seqs []*seqState) (StepBreakdown, []*seqState, []*seqState, error) {
 	cfg := e.cfg
 	dev := e.dev
 	var bd StepBreakdown
@@ -736,7 +984,8 @@ func (e *Engine) genStep(seqs []*seqState) (StepBreakdown, []*seqState, error) {
 	bd.Compressor = dev.CompressorKernel(newKV)
 
 	// memory management
-	var preempted []*seqState
+	var preempted, swapped []*seqState
+	var swapXferBytes float64
 	if e.mgr != nil {
 		active := append([]*seqState(nil), seqs...)
 		for {
@@ -783,16 +1032,53 @@ func (e *Engine) genStep(seqs []*seqState) (StepBreakdown, []*seqState, error) {
 				seqs = active
 				break
 			}
-			// out of pages: recompute-preempt the youngest sequence
+			// out of pages: the recovery policy picks a victim and how it
+			// comes back (recompute from scratch vs swap to the host tier).
+			// Error returns carry the victims already processed so Step can
+			// book them even when the step itself fails.
 			if len(active) <= 1 {
-				return bd, nil, err
+				return bd, preempted, swapped, err
 			}
-			last := active[len(active)-1]
-			active = active[:len(active)-1]
-			if rerr := e.mgr.ReleaseSequence(last.req.ID); rerr != nil {
-				return bd, nil, rerr
+			cands := e.victimBuf[:0]
+			for _, st := range active {
+				cands = append(cands, offload.Victim{
+					SeqID:     st.req.ID,
+					ArrivalUs: st.req.ArrivalUs,
+					Tokens:    st.req.PromptLen + st.generated,
+					Generated: st.generated,
+				})
 			}
-			preempted = append(preempted, last)
+			e.victimBuf = cands
+			vi := e.rpolicy.PickVictim(cands)
+			victim := active[vi]
+			active = append(active[:vi], active[vi+1:]...)
+			recovered := false
+			if e.tiered != nil && e.rpolicy.Recovery() != offload.RecoverRecompute {
+				compress := e.rpolicy.Recovery() == offload.RecoverCompressSwap
+				res, serr := e.tiered.SwapOut(victim.req.ID, compress, float64(e.clock))
+				if serr == nil {
+					if compress {
+						// the compress-deeper pass re-quantizes the high
+						// tier before the transfer; the sequence resumes
+						// all-low, so its future demand follows suit
+						bd.Compressor += dev.CompressorKernel(float64(res.RecompressBytes))
+						for h := range victim.hiF {
+							victim.loF[h] = mathx.Clamp(victim.hiF[h]+victim.loF[h], 0, 0.9)
+							victim.hiF[h] = 0
+						}
+					}
+					swapXferBytes += float64(res.Bytes)
+					swapped = append(swapped, victim)
+					recovered = true
+				}
+			}
+			if !recovered {
+				// recompute: discard the victim's pages entirely
+				if rerr := e.mgr.ReleaseSequence(victim.req.ID); rerr != nil {
+					return bd, preempted, swapped, rerr
+				}
+				preempted = append(preempted, victim)
+			}
 		}
 	} else {
 		bd.MemMgmt = gpusim.Micros(10 + float64(batch))
@@ -801,11 +1087,18 @@ func (e *Engine) genStep(seqs []*seqState) (StepBreakdown, []*seqState, error) {
 	if cfg.Traits.FrameworkOverhead > 1 {
 		bd.Scheduler += gpusim.Micros((cfg.Traits.FrameworkOverhead - 1) * 3000)
 	}
+	if swapXferBytes > 0 {
+		// D2H swap traffic: one aggregated transfer, overlapped against
+		// this step's kernels up to the device's calibrated fraction
+		xfer := dev.PCIeTransfer(swapXferBytes)
+		e.xferUs += xfer
+		bd.Offload += dev.TransferStall(xfer, bd.ModelExec+bd.Compressor)
+	}
 
 	for _, st := range seqs {
 		st.generated++
 	}
-	return bd, preempted, nil
+	return bd, preempted, swapped, nil
 }
 
 func (e *Engine) memMgmtTime(stats kvcache.CompactStats, batch int) gpusim.Micros {

@@ -27,6 +27,13 @@ const (
 	// instance; KindReject is a request shed by admission control.
 	KindDispatch Kind = "dispatch"
 	KindReject   Kind = "reject"
+	// KindSwapOut / KindSwapIn mark a sequence moving to / returning from
+	// the host offload tier (swap-instead-of-recompute preemption);
+	// KindHostPrefixHit marks an admission served from a prefix-cache
+	// entry that had spilled to the host tier.
+	KindSwapOut       Kind = "swap_out"
+	KindSwapIn        Kind = "swap_in"
+	KindHostPrefixHit Kind = "host_prefix_hit"
 )
 
 // Event is one traced occurrence.
