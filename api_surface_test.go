@@ -1,0 +1,83 @@
+package diffkv
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestPublicAPISurface pins the exported identifier list of package
+// diffkv against a checked-in golden file, so a PR that silently drops,
+// renames or accidentally exports a symbol fails CI with a readable
+// diff. Regenerate intentionally with `go test -run PublicAPISurface
+// -update`.
+func TestPublicAPISurface(t *testing.T) {
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decls []string
+	for _, ent := range entries {
+		name := ent.Name()
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, name, nil, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range f.Decls {
+			switch d := d.(type) {
+			case *ast.FuncDecl:
+				if d.Recv == nil && d.Name.IsExported() {
+					decls = append(decls, "func "+d.Name.Name)
+				}
+			case *ast.GenDecl:
+				kind := map[token.Token]string{
+					token.TYPE: "type", token.VAR: "var", token.CONST: "const",
+				}[d.Tok]
+				if kind == "" {
+					continue
+				}
+				for _, spec := range d.Specs {
+					switch spec := spec.(type) {
+					case *ast.TypeSpec:
+						if spec.Name.IsExported() {
+							decls = append(decls, kind+" "+spec.Name.Name)
+						}
+					case *ast.ValueSpec:
+						for _, id := range spec.Names {
+							if id.IsExported() {
+								decls = append(decls, kind+" "+id.Name)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	sort.Strings(decls)
+	got := fmt.Sprintf("// Exported surface of package diffkv (one identifier per line).\n// Regenerate: go test -run PublicAPISurface -update\n%s\n",
+		strings.Join(decls, "\n"))
+
+	path := filepath.Join("testdata", "api_surface.golden")
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test -run PublicAPISurface -update` to create it)", err)
+	}
+	if got != string(want) {
+		t.Fatalf("public API surface changed.\nIf intentional, regenerate the golden with -update and call the change out in the PR.\n got:\n%s\nwant:\n%s", got, want)
+	}
+}

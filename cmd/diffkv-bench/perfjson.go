@@ -15,6 +15,7 @@ import (
 	"testing"
 	"time"
 
+	"diffkv"
 	"diffkv/internal/benchkernels"
 	"diffkv/internal/experiments"
 	"diffkv/internal/offload"
@@ -49,6 +50,20 @@ type OffloadGoodput struct {
 	PCIeStallMs      float64 `json:"pcie_stall_ms"`
 }
 
+// ServingHotPathResult measures scheduler wall-clock cost: one
+// scenario-built serving run (Llama3-8B, MATH, 32 closed-loop requests,
+// 1024-token limit) timed end to end, reported as engine steps per
+// wall-clock second. The traits row is pure scheduler overhead (no page
+// manager), so it is the sensitive detector for regressions in the
+// registry/session indirection on the hot path; best of three runs.
+type ServingHotPathResult struct {
+	Mode            string  `json:"mode"`
+	Steps           int     `json:"steps"`
+	WallMs          float64 `json:"wall_ms"`
+	StepsPerSec     float64 `json:"steps_per_sec"`
+	SimTokensPerSec float64 `json:"sim_tokens_per_sec"`
+}
+
 // PerfSnapshot is the full -json payload.
 type PerfSnapshot struct {
 	GoVersion   string             `json:"go_version"`
@@ -61,6 +76,57 @@ type PerfSnapshot struct {
 	// (compression moves fewer bytes than FP16).
 	Offload   []OffloadGoodput           `json:"offload"`
 	SwapBytes []experiments.SwapBytesRow `json:"swap_bytes"`
+	// ServingHotPath times the v2-API serving path (scenario build +
+	// Run): steps/sec must stay within noise of the pre-registry numbers.
+	ServingHotPath []ServingHotPathResult `json:"serving_hot_path"`
+}
+
+// runServingHotPath measures both engine modes through the full v2
+// stack: Scenario.Build resolves the method registry and the engine runs
+// with session bookkeeping compiled in (no sessions open — the
+// steady-state hot path).
+func runServingHotPath(seed uint64) ([]ServingHotPathResult, error) {
+	var out []ServingHotPathResult
+	for _, mode := range []struct {
+		label, method string
+	}{
+		{"traits-vLLM", "vLLM"},
+		{"manager-DiffKV", "DiffKV"},
+	} {
+		var best ServingHotPathResult
+		for rep := 0; rep < 3; rep++ {
+			sc := diffkv.Scenario{
+				Model: "Llama3-8B", Method: mode.method, MemFrac: 0.3,
+				MaxGenLen: 1024,
+				Workload:  diffkv.WorkloadSpec{Bench: "MATH", Requests: 32},
+				Seed:      seed,
+			}
+			st, err := sc.Build()
+			if err != nil {
+				return nil, err
+			}
+			reqs := st.Requests()
+			start := time.Now()
+			res, err := st.Server.Run(reqs)
+			if err != nil {
+				return nil, err
+			}
+			wall := time.Since(start)
+			steps := res.PromptSteps + res.GenSteps
+			r := ServingHotPathResult{
+				Mode:            mode.label,
+				Steps:           steps,
+				WallMs:          float64(wall.Microseconds()) / 1e3,
+				StepsPerSec:     float64(steps) / wall.Seconds(),
+				SimTokensPerSec: res.Throughput,
+			}
+			if r.StepsPerSec > best.StepsPerSec {
+				best = r
+			}
+		}
+		out = append(out, best)
+	}
+	return out, nil
 }
 
 // writePerfJSON runs the perf snapshot and writes it to path.
@@ -109,6 +175,11 @@ func writePerfJSON(path string, seed uint64, workers int) error {
 		}
 	}
 	snap.SwapBytes = experiments.OffloadSwapBytes()
+	hot, err := runServingHotPath(seed)
+	if err != nil {
+		return err
+	}
+	snap.ServingHotPath = hot
 	data, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
 		return err

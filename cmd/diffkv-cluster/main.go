@@ -1,16 +1,20 @@
 // Command diffkv-cluster runs the multi-instance cluster simulator: N
 // serving engines behind a router, under Poisson arrivals with shared
 // prompt prefixes, and prints per-policy SLO metrics (TTFT/TPOT
-// percentiles, goodput, utilization, load imbalance, shed count).
+// percentiles, goodput, utilization, load imbalance, shed count). The
+// flags are a thin translation onto one diffkv.Scenario; -scenario
+// replaces them with a spec file.
 //
 // Usage:
 //
 //	diffkv-cluster -instances 4 -rate 10 -seconds 60
 //	diffkv-cluster -policy prefix-affinity -method DiffKV -trace events.jsonl
 //	diffkv-cluster -policy all -bench MMLU -groups 16 -prefixlen 768
+//	diffkv-cluster -scenario scenario.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -21,51 +25,98 @@ import (
 
 func main() {
 	var (
-		instances  = flag.Int("instances", 4, "number of serving instances")
-		modelName  = flag.String("model", "Llama3-8B", "model name")
-		method     = flag.String("method", "vLLM", "vLLM|Quest|SnapKV|Atom|KIVI|DiffKV")
-		benchName  = flag.String("bench", "MMLU", "workload benchmark")
-		policy     = flag.String("policy", "all", "round-robin|least-loaded|prefix-affinity|all")
-		rate       = flag.Float64("rate", 10, "Poisson arrival rate (req/s, whole cluster)")
-		seconds    = flag.Float64("seconds", 60, "arrival horizon")
-		groups     = flag.Int("groups", 16, "shared-prefix groups (0 = no shared prefixes)")
-		prefixLen  = flag.Int("prefixlen", 768, "shared prefix length (tokens)")
-		sharedFrac = flag.Float64("sharedfrac", 0.9, "fraction of requests in a prefix group")
-		cacheG     = flag.Int("cachegroups", 8, "per-instance prefix-cache capacity (groups)")
-		maxQueue   = flag.Int("maxqueue", 128, "admission bound: per-instance queue depth (0 = never shed)")
-		maxGen     = flag.Int("maxgen", 256, "generation limit")
-		memFrac    = flag.Float64("memfrac", 0.3, "DiffKV resident memory fraction")
-		preempt    = flag.String("preempt", "recompute", "preemption recovery: recompute|swap|compress-swap (DiffKV only)")
-		hostGB     = flag.Float64("hostmem", 0, "per-instance host offload tier in GiB (0 disables; DiffKV only)")
-		reserve    = flag.Float64("reserve", 0, "memory reserve fraction (0 = default; raise to oversubscribe KV)")
-		ttftSLO    = flag.Float64("ttft-slo", 2.0, "TTFT SLO (seconds) for goodput")
-		tpotSLO    = flag.Float64("tpot-slo", 0.1, "TPOT SLO (seconds/token) for goodput")
-		tracePath  = flag.String("trace", "", "write trace events as JSON lines to this file")
-		seed       = flag.Uint64("seed", 42, "random seed")
+		scenarioPath = flag.String("scenario", "", "load the full configuration from a scenario JSON file (overrides the other flags; a spec without routing sweeps the registry)")
+		dump         = flag.Bool("dump-scenario", false, "print the flags as a scenario JSON spec and exit")
+		instances    = flag.Int("instances", 4, "number of serving instances")
+		modelName    = flag.String("model", "Llama3-8B", "model name")
+		method       = flag.String("method", "vLLM", "registered serving method")
+		benchName    = flag.String("bench", "MMLU", "workload benchmark")
+		policy       = flag.String("policy", "all", "routing policy name, or \"all\" to sweep the registry")
+		rate         = flag.Float64("rate", 10, "Poisson arrival rate (req/s, whole cluster)")
+		seconds      = flag.Float64("seconds", 60, "arrival horizon")
+		groups       = flag.Int("groups", 16, "shared-prefix groups (0 = no shared prefixes)")
+		prefixLen    = flag.Int("prefixlen", 768, "shared prefix length (tokens)")
+		sharedFrac   = flag.Float64("sharedfrac", 0.9, "fraction of requests in a prefix group")
+		cacheG       = flag.Int("cachegroups", 8, "per-instance prefix-cache capacity (groups)")
+		maxQueue     = flag.Int("maxqueue", 128, "admission bound: per-instance queue depth (0 = never shed)")
+		maxGen       = flag.Int("maxgen", 256, "generation limit")
+		memFrac      = flag.Float64("memfrac", 0.3, "DiffKV resident memory fraction")
+		preempt      = flag.String("preempt", "recompute", "preemption recovery policy")
+		hostGB       = flag.Float64("hostmem", 0, "per-instance host offload tier in GiB (0 disables)")
+		reserve      = flag.Float64("reserve", 0, "memory reserve fraction (0 = default; raise to oversubscribe KV)")
+		ttftSLO      = flag.Float64("ttft-slo", 2.0, "TTFT SLO (seconds) for goodput")
+		tpotSLO      = flag.Float64("tpot-slo", 0.1, "TPOT SLO (seconds/token) for goodput")
+		tracePath    = flag.String("trace", "", "write trace events as JSON lines to this file")
+		seed         = flag.Uint64("seed", 42, "random seed")
 	)
 	flag.Parse()
 
-	model, err := diffkv.ModelByName(*modelName)
-	if err != nil {
-		log.Fatal(err)
+	var base *diffkv.Scenario
+	if *scenarioPath != "" {
+		var err error
+		if base, err = diffkv.LoadScenario(*scenarioPath); err != nil {
+			log.Fatal(err)
+		}
+		if base.Cluster == nil {
+			log.Fatal("diffkv-cluster needs a scenario with a cluster spec; use diffkv-serve for single-instance scenarios")
+		}
+	} else {
+		base = &diffkv.Scenario{
+			Model:             *modelName,
+			Method:            *method,
+			MemFrac:           *memFrac,
+			MaxGenLen:         *maxGen,
+			MemoryReserve:     *reserve,
+			PrefixCacheGroups: *cacheG,
+			Preemption:        *preempt,
+			HostMemoryGB:      *hostGB,
+			Workload: diffkv.WorkloadSpec{
+				Bench:      *benchName,
+				RatePerSec: *rate,
+				Seconds:    *seconds,
+			},
+			Cluster: &diffkv.ClusterSpec{
+				Instances:     *instances,
+				MaxQueueDepth: *maxQueue,
+				TTFTSLOSec:    *ttftSLO,
+				TPOTSLOSec:    *tpotSLO,
+			},
+			Seed: *seed,
+		}
+		if *groups > 0 {
+			base.Workload.Prefix = &diffkv.PrefixConfig{
+				Groups: *groups, PrefixLen: *prefixLen, SharedFrac: *sharedFrac,
+			}
+		}
 	}
-	bench, err := diffkv.BenchmarkByName(*benchName)
-	if err != nil {
-		log.Fatal(err)
-	}
-	traits, err := diffkv.TraitsFor(*method, *memFrac)
-	if err != nil {
-		log.Fatal(err)
+	if *dump {
+		data, err := json.MarshalIndent(base, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		os.Stdout.Write(append(data, '\n'))
+		return
 	}
 
-	policies := diffkv.RoutingPolicies()
-	if *policy != "all" {
+	var policies []string
+	switch {
+	case *scenarioPath != "" && base.Cluster.Routing != "":
+		// a spec that pins its routing runs exactly that; omit routing in
+		// the file to sweep the registry
+		policies = []string{base.Cluster.Routing}
+	case *policy == "all":
+		policies = diffkv.RoutingPolicies()
+	default:
 		policies = []string{*policy}
 	}
 
-	pc := diffkv.PrefixConfig{Groups: *groups, PrefixLen: *prefixLen, SharedFrac: *sharedFrac}
+	pc := diffkv.PrefixConfig{}
+	if base.Workload.Prefix != nil {
+		pc = *base.Workload.Prefix
+	}
 	fmt.Printf("%d instances | %s | %s | %s | %.1f req/s for %.0fs | %d prefix groups x %d tokens (%.0f%% shared)\n\n",
-		*instances, model.Name, *method, bench.Name, *rate, *seconds,
+		base.Cluster.Instances, base.Model, base.Method, base.Workload.Bench,
+		base.Workload.RatePerSec, base.Workload.Seconds,
 		pc.Groups, pc.PrefixLen, 100*pc.SharedFrac)
 
 	header := fmt.Sprintf("%-16s %8s %11s %11s %11s %9s %14s %6s %10s %8s %6s",
@@ -77,39 +128,22 @@ func main() {
 	fmt.Println()
 
 	for _, pol := range policies {
+		sc := *base
+		spec := *base.Cluster
+		spec.Routing = pol
+		sc.Cluster = &spec
 		var collector *diffkv.TraceCollector
-		cfg := diffkv.ClusterServerConfig{
-			Instances:     *instances,
-			Policy:        pol,
-			MaxQueueDepth: *maxQueue,
-			TTFTSLOUs:     *ttftSLO * 1e6,
-			TPOTSLOUs:     *tpotSLO * 1e6,
-			Seed:          *seed,
-		}
-		cfg.Engine.Model = model
-		cfg.Engine.Cluster = diffkv.NewCluster(diffkv.L40(), 1)
-		cfg.Engine.Traits = traits
-		cfg.Engine.MaxGenLen = *maxGen
-		cfg.Engine.MemoryReserve = *reserve
-		cfg.Engine.PrefixCacheGroups = *cacheG
-		if *method == "DiffKV" {
-			cfg.Engine.UseManager = true
-			cfg.Engine.HiFrac, cfg.Engine.LoFrac = 0.2, 0.25
-			cfg.Engine.PreemptPolicy = *preempt
-			cfg.Engine.HostMemoryBytes = int64(*hostGB * float64(1<<30))
-		}
 		if *tracePath != "" {
 			collector = diffkv.NewTraceCollector(1 << 20)
-			cfg.Tracer = collector
+			sc.Tracer = collector
 		}
 
-		cs, err := diffkv.NewClusterServer(cfg)
+		st, err := sc.Build()
 		if err != nil {
 			log.Fatal(err)
 		}
 		// same seed per policy: identical arrival sequences, fair comparison
-		reqs := diffkv.NewRequestGen(bench, *maxGen, *seed).PoissonShared(*rate, *seconds, pc)
-		m, err := cs.Run(reqs)
+		m, err := st.Cluster.Run(st.Requests())
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,94 +1,105 @@
 // Command diffkv-serve runs the serving simulator on a chosen model,
 // method and workload and prints throughput/latency metrics with the
-// per-phase component breakdown.
+// per-phase component breakdown. The flags are a thin translation onto
+// one diffkv.Scenario; -scenario replaces them with a spec file.
 //
 // Usage:
 //
 //	diffkv-serve -model Llama3-8B -method DiffKV -bench MATH -requests 64
 //	diffkv-serve -model QwQ-32B -method vLLM -gpus 2 -rate 0.5 -seconds 120
+//	diffkv-serve -scenario scenario.json
+//	diffkv-serve -model Llama3-8B -method DiffKV -dump-scenario > scenario.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"diffkv"
 )
 
 func main() {
 	var (
-		modelName = flag.String("model", "Llama3-8B", "model name")
-		method    = flag.String("method", "DiffKV", "vLLM|Quest|SnapKV|Atom|KIVI|DiffKV")
-		benchName = flag.String("bench", "MATH", "workload benchmark")
-		gpus      = flag.Int("gpus", 1, "tensor-parallel GPUs")
-		requests  = flag.Int("requests", 64, "closed-loop request count (ignored with -rate)")
-		rate      = flag.Float64("rate", 0, "Poisson arrival rate (req/s); 0 = closed loop")
-		seconds   = flag.Float64("seconds", 120, "Poisson horizon")
-		maxGen    = flag.Int("maxgen", 4096, "generation limit")
-		memFrac   = flag.Float64("memfrac", 0.3, "DiffKV resident memory fraction")
-		preempt   = flag.String("preempt", "recompute", "preemption recovery: recompute|swap|compress-swap")
-		hostGB    = flag.Float64("hostmem", 0, "host-memory offload tier size in GiB (0 disables; DiffKV only)")
-		reserve   = flag.Float64("reserve", 0, "memory reserve fraction (0 = default 0.1; raise to oversubscribe KV)")
-		seed      = flag.Uint64("seed", 42, "random seed")
+		scenarioPath = flag.String("scenario", "", "load the full configuration from a scenario JSON file (overrides the other flags)")
+		dump         = flag.Bool("dump-scenario", false, "print the flags as a scenario JSON spec and exit")
+		modelName    = flag.String("model", "Llama3-8B", "model name")
+		method       = flag.String("method", "DiffKV", "registered serving method")
+		benchName    = flag.String("bench", "MATH", "workload benchmark")
+		gpus         = flag.Int("gpus", 1, "tensor-parallel GPUs")
+		requests     = flag.Int("requests", 64, "closed-loop request count (ignored with -rate)")
+		rate         = flag.Float64("rate", 0, "Poisson arrival rate (req/s); 0 = closed loop")
+		seconds      = flag.Float64("seconds", 120, "Poisson horizon")
+		maxGen       = flag.Int("maxgen", 4096, "generation limit")
+		memFrac      = flag.Float64("memfrac", 0.3, "DiffKV resident memory fraction")
+		preempt      = flag.String("preempt", "recompute", "preemption recovery policy")
+		hostGB       = flag.Float64("hostmem", 0, "host-memory offload tier size in GiB (0 disables)")
+		reserve      = flag.Float64("reserve", 0, "memory reserve fraction (0 = default 0.1; raise to oversubscribe KV)")
+		seed         = flag.Uint64("seed", 42, "random seed")
 	)
 	flag.Parse()
 
-	model, err := diffkv.ModelByName(*modelName)
-	if err != nil {
-		log.Fatal(err)
-	}
-	bench, err := diffkv.BenchmarkByName(*benchName)
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	traits, err := diffkv.TraitsFor(*method, *memFrac)
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	cfg := diffkv.ServerConfig{
-		Model:         model,
-		Cluster:       diffkv.NewCluster(diffkv.L40(), *gpus),
-		Traits:        traits,
-		MaxGenLen:     *maxGen,
-		MemoryReserve: *reserve,
-		Seed:          *seed,
-	}
-	if *method == "DiffKV" {
-		cfg.UseManager = true
-		cfg.HiFrac, cfg.LoFrac = 0.2, 0.25
-		cfg.PreemptPolicy = *preempt
-		cfg.HostMemoryBytes = int64(*hostGB * float64(1<<30))
-	}
-	srv, err := diffkv.NewServer(cfg)
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	gen := diffkv.NewRequestGen(bench, *maxGen, *seed)
-	var reqs []diffkv.Request
-	if *rate > 0 {
-		reqs = gen.Poisson(*rate, *seconds)
+	var sc *diffkv.Scenario
+	if *scenarioPath != "" {
+		var err error
+		if sc, err = diffkv.LoadScenario(*scenarioPath); err != nil {
+			log.Fatal(err)
+		}
 	} else {
-		reqs = gen.Batch(*requests)
+		sc = &diffkv.Scenario{
+			Model:         *modelName,
+			Method:        *method,
+			MemFrac:       *memFrac,
+			GPUs:          *gpus,
+			MaxGenLen:     *maxGen,
+			MemoryReserve: *reserve,
+			Preemption:    *preempt,
+			HostMemoryGB:  *hostGB,
+			Workload: diffkv.WorkloadSpec{
+				Bench:      *benchName,
+				Requests:   *requests,
+				RatePerSec: *rate,
+			},
+			Seed: *seed,
+		}
+		if *rate > 0 {
+			sc.Workload.Requests = 0
+			sc.Workload.Seconds = *seconds
+		}
+	}
+	if *dump {
+		data, err := json.MarshalIndent(sc, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		os.Stdout.Write(append(data, '\n'))
+		return
 	}
 
-	res, err := srv.Run(reqs)
+	st, err := sc.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if st.Server == nil {
+		log.Fatal("diffkv-serve drives a single instance; use diffkv-cluster for scenarios with a cluster spec")
+	}
+	reqs := st.Requests()
+	res, err := st.Server.Run(reqs)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	fmt.Printf("%s | %s | %s | %d GPU(s) | %d requests\n",
-		model.Name, *method, bench.Name, *gpus, len(reqs))
+		st.Model.Name, sc.Method, st.Benchmark.Name, st.Scenario.GPUs, len(reqs))
 	fmt.Printf("  throughput:        %.0f tokens/s\n", res.Throughput)
 	fmt.Printf("  goodput:           %.0f tokens/s (completed requests only)\n", res.GoodputTokensPerSec)
 	fmt.Printf("  avg batch size:    %.1f\n", res.AvgBatch)
 	fmt.Printf("  per-token latency: %.4f s (incl. queueing)\n", res.AvgPerTokenLatency)
 	fmt.Printf("  completed:         %d in %.1fs simulated\n", res.Completed, res.ElapsedSeconds)
 	if res.Preemptions > 0 || res.Offload.SwapOuts > 0 {
-		fmt.Printf("  preemptions:       %d (%s recovery)\n", res.Preemptions, *preempt)
+		fmt.Printf("  preemptions:       %d (%s recovery)\n", res.Preemptions, st.Scenario.Preemption)
 	}
 	if m := res.Offload; m.SwapOuts > 0 || m.PrefixSpills > 0 {
 		fmt.Printf("  offload:           %d swaps out / %d in | %.1f MB moved | %.1f ms PCIe (%.1f ms stalled) | %d thrash\n",

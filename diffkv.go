@@ -153,30 +153,47 @@ func NewRequestGen(b *Benchmark, maxGenLen int, seed uint64) *workload.RequestGe
 // serving engine (resident memory, attention bytes, host overheads).
 type ServingTraits = baselines.ServingTraits
 
-// Methods lists the serving methods TraitsFor accepts.
-var Methods = []string{"vLLM", "Quest", "SnapKV", "Atom", "KIVI", "DiffKV"}
+// Method describes a compression method to the serving layers: a name
+// plus the ServingTraits driving the serving cost model. Implement it —
+// optionally together with CompressionHook — and register with
+// RegisterMethod to run a custom method through servers, clusters and
+// scenarios without touching internals.
+type Method = baselines.ServingMethod
 
-// TraitsFor returns the serving traits of a named method ("vLLM", "Quest",
-// "SnapKV", "Atom", "KIVI" or "DiffKV"). diffKVMemFrac is DiffKV's
-// measured resident memory fraction (ignored for other methods). Unknown
-// method names are an error — they used to silently select vLLM traits.
+// CompressionSetup carries the engine knobs of methods that run a real
+// compression pipeline (page manager, tier fractions) beyond traits.
+type CompressionSetup = baselines.CompressionSetup
+
+// CompressionHook is optionally implemented by Methods backed by a real
+// compression pipeline; scenario building consults it so the method —
+// not the caller — decides how the serving engine is configured.
+type CompressionHook = baselines.CompressionHook
+
+// RegisterMethod adds a serving method to the registry. Names must be
+// non-empty and unique; the builtin paper methods are pre-registered.
+func RegisterMethod(m Method) error { return baselines.RegisterServingMethod(m) }
+
+// MethodByName looks a registered serving method up by name.
+func MethodByName(name string) (Method, error) { return baselines.ServingMethodByName(name) }
+
+// Methods lists registered serving method names — the builtins ("vLLM",
+// "Quest", "SnapKV", "Atom", "KIVI", "DiffKV") followed by third-party
+// registrations, derived from the registry.
+func Methods() []string { return baselines.ServingMethods() }
+
+// TraitsFor returns the serving traits of a named registered method.
+// diffKVMemFrac is DiffKV's measured resident memory fraction (ignored
+// by fixed-trait methods; <= 0 selects DiffKV's 0.3 default).
+//
+// Deprecated: TraitsFor is a shim over the method registry. Use
+// MethodByName(name).ServingTraits(memFrac), or skip traits entirely and
+// build from a Scenario.
 func TraitsFor(name string, diffKVMemFrac float64) (ServingTraits, error) {
-	switch name {
-	case "vLLM":
-		return baselines.TraitsVLLM, nil
-	case "Quest":
-		return baselines.TraitsQuest, nil
-	case "SnapKV":
-		return baselines.TraitsSnapKV, nil
-	case "Atom":
-		return baselines.TraitsAtom, nil
-	case "KIVI":
-		return baselines.TraitsKIVI, nil
-	case "DiffKV":
-		return baselines.TraitsDiffKV(diffKVMemFrac), nil
-	default:
-		return ServingTraits{}, fmt.Errorf("diffkv: unknown serving method %q (want one of %v)", name, Methods)
+	m, err := MethodByName(name)
+	if err != nil {
+		return ServingTraits{}, fmt.Errorf("diffkv: %w", err)
 	}
+	return m.ServingTraits(diffKVMemFrac), nil
 }
 
 // ExperimentOpts tune experiment cost (repetitions, fast mode, seed).
@@ -207,13 +224,37 @@ type ClusterServer = cluster.Cluster
 type ClusterMetrics = cluster.Metrics
 
 // Routing policies for ClusterServerConfig.Policy.
+//
+// Deprecated: these consts are shims over the routing-policy registry;
+// any name reported by RoutingPolicies (including runtime registrations
+// via RegisterRoutingPolicy) is valid.
 const (
 	RouteRoundRobin     = cluster.PolicyRoundRobin
 	RouteLeastLoaded    = cluster.PolicyLeastLoaded
 	RoutePrefixAffinity = cluster.PolicyPrefixAffinity
 )
 
-// RoutingPolicies lists the available routing policy names.
+// RoutingPolicy picks a target instance for each request from routable
+// instance snapshots. Implementations must be deterministic.
+type RoutingPolicy = cluster.Policy
+
+// RoutingSnapshot is the router's view of one serving instance at
+// dispatch time (queue depth, running count, resident/swapped tokens).
+type RoutingSnapshot = cluster.Snapshot
+
+// RoutingPolicyFactory builds a fresh policy instance per cluster —
+// routing policies are stateful (cursors, prefix indexes), so the
+// registry holds factories.
+type RoutingPolicyFactory = cluster.PolicyFactory
+
+// RegisterRoutingPolicy adds a routing policy factory under name; the
+// name becomes valid in ClusterServerConfig.Policy and Scenario specs.
+func RegisterRoutingPolicy(name string, f RoutingPolicyFactory) error {
+	return cluster.RegisterPolicy(name, f)
+}
+
+// RoutingPolicies lists registered routing policy names — builtins
+// followed by third-party registrations, derived from the registry.
 func RoutingPolicies() []string { return cluster.Policies() }
 
 // NewClusterServer builds a multi-instance cluster simulator.
@@ -229,13 +270,48 @@ type ServingCompletion = serving.Completion
 // Preemption recovery policies for ServerConfig.PreemptPolicy: what the
 // engine does with a victim when it runs out of KV pages. Swap policies
 // require UseManager and ServerConfig.HostMemoryBytes > 0.
+//
+// Deprecated: these consts are shims over the preemption-policy
+// registry; any name reported by PreemptPolicies (including runtime
+// registrations via RegisterPreemptPolicy) is valid.
 const (
 	PreemptRecompute    = offload.PolicyRecompute
 	PreemptSwap         = offload.PolicySwap
 	PreemptCompressSwap = offload.PolicyCompressSwap
 )
 
-// PreemptPolicies lists the available preemption recovery policy names.
+// PreemptRecoveryPolicy picks the victim and recovery action when a
+// serving step runs out of KV pages. Implementations must be
+// deterministic.
+type PreemptRecoveryPolicy = offload.RecoveryPolicy
+
+// PreemptVictim describes one preemption candidate to a recovery policy.
+type PreemptVictim = offload.Victim
+
+// PreemptRecovery is the recovery action of a preemption policy.
+type PreemptRecovery = offload.Recovery
+
+// Recovery actions a custom PreemptRecoveryPolicy can return.
+const (
+	RecoverRecompute    = offload.RecoverRecompute
+	RecoverSwap         = offload.RecoverSwap
+	RecoverCompressSwap = offload.RecoverCompressSwap
+)
+
+// PreemptPolicyFactory builds a fresh recovery policy instance per
+// serving engine.
+type PreemptPolicyFactory = offload.PolicyFactory
+
+// RegisterPreemptPolicy adds a preemption recovery policy factory under
+// name; the name becomes valid in ServerConfig.PreemptPolicy and
+// Scenario specs.
+func RegisterPreemptPolicy(name string, f PreemptPolicyFactory) error {
+	return offload.RegisterPolicy(name, f)
+}
+
+// PreemptPolicies lists registered preemption recovery policy names —
+// builtins followed by third-party registrations, derived from the
+// registry.
 func PreemptPolicies() []string { return offload.Policies() }
 
 // OffloadMetrics snapshots host-tier activity (swap bytes each way,
@@ -259,3 +335,22 @@ type TraceCollector = trace.Collector
 // NewTraceCollector creates a collector holding at most capacity events
 // (<=0 selects the default, 65536).
 func NewTraceCollector(capacity int) *TraceCollector { return trace.NewCollector(capacity) }
+
+// Session is a per-request streaming handle over the serving engine:
+// Server.Open (or ClusterServer.Open) submits the request and returns
+// the handle; token progress streams through its OnToken callback while
+// the engine is driven (Step / Drain / DrainContext); cancelling it —
+// explicitly or via the Open context — frees the request's KV pages and
+// host-tier state immediately instead of finishing the generation.
+type Session = serving.Session
+
+// TokenUpdate is one token-progress notification delivered to a
+// Session's OnToken callback.
+type TokenUpdate = serving.TokenUpdate
+
+// ErrSessionCancelled is the terminal error of a cancelled Session.
+var ErrSessionCancelled = serving.ErrCancelled
+
+// ErrClusterSaturated is returned by ClusterServer.Open when admission
+// control sheds the request (every instance at the queue bound).
+var ErrClusterSaturated = cluster.ErrAllSaturated

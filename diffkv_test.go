@@ -89,7 +89,7 @@ func TestTraitsForRejectsUnknownMethod(t *testing.T) {
 	if _, err := TraitsFor("NoSuchMethod", 0); err == nil {
 		t.Fatal("unknown method must error, not silently map to vLLM")
 	}
-	for _, m := range Methods {
+	for _, m := range Methods() {
 		if _, err := TraitsFor(m, 0.3); err != nil {
 			t.Fatalf("%s: %v", m, err)
 		}

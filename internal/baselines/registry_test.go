@@ -1,0 +1,58 @@
+package baselines
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestBuiltinServingMethods checks the builtin registrations: paper
+// reporting order, trait identity with the exported vars, and DiffKV's
+// compression hook carrying the manager setup.
+func TestBuiltinServingMethods(t *testing.T) {
+	names := ServingMethods()
+	want := []string{"vLLM", "Quest", "SnapKV", "Atom", "KIVI", "DiffKV"}
+	for i, w := range want {
+		if i >= len(names) || names[i] != w {
+			t.Fatalf("builtin methods = %v, want prefix %v", names, want)
+		}
+	}
+	for name, traits := range map[string]ServingTraits{
+		"vLLM": TraitsVLLM, "Quest": TraitsQuest, "SnapKV": TraitsSnapKV,
+		"Atom": TraitsAtom, "KIVI": TraitsKIVI,
+	} {
+		m, err := ServingMethodByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.ServingTraits(0.5) != traits {
+			t.Fatalf("%s traits diverge from exported var", name)
+		}
+		if _, hooked := m.(CompressionHook); hooked {
+			t.Fatalf("%s must not claim a compression pipeline", name)
+		}
+	}
+
+	dk, err := ServingMethodByName("DiffKV")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr := dk.ServingTraits(0.4); tr != TraitsDiffKV(0.4) {
+		t.Fatalf("DiffKV traits = %+v", tr)
+	}
+	if tr := dk.ServingTraits(0); tr.ResidentMemFrac != 0.3 {
+		t.Fatalf("DiffKV zero memFrac must default to 0.3, got %v", tr.ResidentMemFrac)
+	}
+	hook, ok := dk.(CompressionHook)
+	if !ok {
+		t.Fatal("DiffKV must expose its compression pipeline")
+	}
+	setup := hook.Compression()
+	if !setup.UseManager || setup.HiFrac != 0.2 || setup.LoFrac != 0.25 {
+		t.Fatalf("DiffKV compression setup = %+v", setup)
+	}
+
+	_, err = ServingMethodByName("nope")
+	if err == nil || !strings.Contains(err.Error(), "unknown serving method") {
+		t.Fatalf("unknown-method error = %v", err)
+	}
+}

@@ -11,6 +11,8 @@
 package cluster
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -19,6 +21,10 @@ import (
 	"diffkv/internal/trace"
 	"diffkv/internal/workload"
 )
+
+// ErrAllSaturated is returned by Open when every instance is at the
+// admission bound — the request is shed, mirroring Run's reject path.
+var ErrAllSaturated = errors.New("cluster: all instances saturated")
 
 // Config parameterizes a cluster run.
 type Config struct {
@@ -67,12 +73,17 @@ func (c *Config) validate() error {
 	return nil
 }
 
-// Cluster is the multi-instance serving simulator.
+// Cluster is the multi-instance serving simulator. It is driven either
+// in batch mode (Run: route a request list, drain, return Metrics) or in
+// session mode (Open per request + DrainContext + Metrics), not both.
 type Cluster struct {
-	cfg     Config
-	engines []*serving.Engine
-	policy  Policy
-	hasRun  bool
+	cfg         Config
+	engines     []*serving.Engine
+	policy      Policy
+	hasRun      bool
+	sessionMode bool
+	acc         *accumulator
+	steps       int
 }
 
 // New builds a cluster of cfg.Instances engines behind the configured
@@ -114,11 +125,22 @@ func (c *Cluster) emit(ev trace.Event) {
 	}
 }
 
+// maxClusterSteps bounds the event loop like Engine.Drain bounds a
+// single-engine run: an unservable request (e.g. a prompt that can never
+// fit one instance's pages) recompute-preempts forever, and without a
+// step bound the cluster would never return. Breaking leaves the request
+// visible as Metrics.Stuck() > 0.
+const maxClusterSteps = 20_000_000
+
 // Run routes the request list through the cluster and drains every
-// instance, returning aggregate SLO metrics. A cluster serves one run.
+// instance, returning aggregate SLO metrics. A cluster serves one run;
+// Run and the session API (Open) are mutually exclusive.
 func (c *Cluster) Run(reqs []workload.Request) (Metrics, error) {
 	if c.hasRun {
 		return Metrics{}, fmt.Errorf("cluster: Run called twice")
+	}
+	if c.sessionMode {
+		return Metrics{}, fmt.Errorf("cluster: Run after Open (pick batch or session driving, not both)")
 	}
 	c.hasRun = true
 
@@ -127,17 +149,9 @@ func (c *Cluster) Run(reqs []workload.Request) (Metrics, error) {
 		return pending[a].ArrivalUs < pending[b].ArrivalUs
 	})
 
-	acc := newAccumulator(c.cfg, c.policy.Name(), len(reqs))
+	c.acc = newAccumulator(c.cfg, c.policy.Name(), len(reqs))
 
-	// Bound the event loop like Engine.Drain bounds a single-engine run:
-	// an unservable request (e.g. a prompt that can never fit one
-	// instance's pages) recompute-preempts forever, and without a step
-	// bound the cluster would never return. Breaking leaves the request
-	// visible as Metrics.Stuck() > 0.
-	steps := 0
-	const maxClusterSteps = 20_000_000
-
-	for steps < maxClusterSteps {
+	for c.steps < maxClusterSteps {
 		// earliest instance step (lowest index wins ties)
 		stepT := math.Inf(1)
 		pick := -1
@@ -157,24 +171,39 @@ func (c *Cluster) Run(reqs []workload.Request) (Metrics, error) {
 		if arrT <= stepT {
 			r := pending[0]
 			pending = pending[1:]
-			c.dispatch(r, acc)
+			c.dispatch(r)
 			continue
 		}
-		steps++
+		c.steps++
 		comps, err := c.engines[pick].Step()
 		if err != nil {
-			return acc.finish(c.engines), fmt.Errorf("cluster: instance %d: %w", pick, err)
+			return c.acc.finish(c.engines), fmt.Errorf("cluster: instance %d: %w", pick, err)
 		}
 		for _, cp := range comps {
-			acc.complete(pick, cp)
+			c.acc.complete(pick, cp)
 		}
 	}
-	return acc.finish(c.engines), nil
+	return c.acc.finish(c.engines), nil
 }
 
 // dispatch routes one request: snapshot the fleet, filter saturated
 // instances (admission control), let the policy pick, and submit.
-func (c *Cluster) dispatch(r workload.Request, acc *accumulator) {
+func (c *Cluster) dispatch(r workload.Request) {
+	idx, ok := c.route(r)
+	if !ok {
+		c.acc.reject()
+		c.emit(trace.Event{Kind: trace.KindReject, TimeUs: r.ArrivalUs, Seq: r.ID})
+		return
+	}
+	c.engines[idx].Submit(r)
+	c.observe(r, idx)
+	c.acc.dispatch(idx, r)
+	c.emit(trace.Event{Kind: trace.KindDispatch, TimeUs: r.ArrivalUs, Seq: r.ID, Inst: idx + 1})
+}
+
+// route snapshots the fleet, filters saturated instances and lets the
+// policy pick. Reports false when every instance is saturated.
+func (c *Cluster) route(r workload.Request) (int, bool) {
 	snaps := make([]Snapshot, 0, len(c.engines))
 	for i, e := range c.engines {
 		s := Snapshot{
@@ -191,15 +220,117 @@ func (c *Cluster) dispatch(r workload.Request, acc *accumulator) {
 		snaps = append(snaps, s)
 	}
 	if len(snaps) == 0 {
-		acc.reject()
-		c.emit(trace.Event{Kind: trace.KindReject, TimeUs: r.ArrivalUs, Seq: r.ID})
-		return
+		return 0, false
 	}
-	idx := c.policy.Pick(r, snaps)
-	c.engines[idx].Submit(r)
+	return c.policy.Pick(r, snaps), true
+}
+
+// observe lets learning policies record the dispatch decision.
+func (c *Cluster) observe(r workload.Request, idx int) {
 	if obs, ok := c.policy.(observer); ok {
 		obs.Observe(r, idx, r.ArrivalUs)
 	}
-	acc.dispatch(idx, r)
+}
+
+// Open routes one request and opens a session on the chosen instance —
+// the online-serving counterpart of Run's batch dispatch. The context
+// governs the request's lifetime (see serving.Engine.Open); the cluster
+// must then be driven with DrainContext (or StepNext) for sessions to
+// progress. Returns ErrAllSaturated when admission control sheds the
+// request.
+func (c *Cluster) Open(ctx context.Context, r workload.Request) (*serving.Session, error) {
+	if c.hasRun {
+		return nil, fmt.Errorf("cluster: Open after Run (pick batch or session driving, not both)")
+	}
+	if c.acc == nil {
+		c.acc = newAccumulator(c.cfg, c.policy.Name(), 0)
+	}
+	idx, ok := c.route(r)
+	if !ok {
+		// a shed request was offered load: it counts as submitted and
+		// latches session mode, unlike an invalid request below
+		c.sessionMode = true
+		c.acc.m.Submitted++
+		c.acc.reject()
+		c.emit(trace.Event{Kind: trace.KindReject, TimeUs: r.ArrivalUs, Seq: r.ID})
+		return nil, ErrAllSaturated
+	}
+	s, err := c.engines[idx].Open(ctx, r)
+	if err != nil {
+		// invalid request (duplicate ID, no GenLen): no state changed, so
+		// the cluster stays usable either way
+		return nil, fmt.Errorf("cluster: instance %d: %w", idx, err)
+	}
+	c.sessionMode = true
+	c.acc.m.Submitted++
+	// the engine may have auto-assigned the request ID and clamped the
+	// arrival time; observe and account the request as actually submitted
+	r = s.Request()
+	c.observe(r, idx)
+	c.acc.dispatch(idx, r)
 	c.emit(trace.Event{Kind: trace.KindDispatch, TimeUs: r.ArrivalUs, Seq: r.ID, Inst: idx + 1})
+	return s, nil
+}
+
+// StepNext advances the instance with the earliest next step, routing its
+// completions into the cluster metrics. It reports false when no instance
+// has work (after reaping cancelled sessions). One call is one instance
+// step, so interleaved Open calls between steps model online arrivals.
+func (c *Cluster) StepNext() (bool, error) {
+	for _, e := range c.engines {
+		e.ReapSessions() // cancellations free capacity and may idle an engine
+	}
+	stepT := math.Inf(1)
+	pick := -1
+	for i, e := range c.engines {
+		if t, ok := e.NextTime(); ok && float64(t) < stepT {
+			stepT, pick = float64(t), i
+		}
+	}
+	if pick == -1 {
+		return false, nil
+	}
+	c.steps++
+	comps, err := c.engines[pick].Step()
+	if err != nil {
+		return true, fmt.Errorf("cluster: instance %d: %w", pick, err)
+	}
+	if c.acc != nil {
+		for _, cp := range comps {
+			c.acc.complete(pick, cp)
+		}
+	}
+	return true, nil
+}
+
+// DrainContext steps the cluster until every instance is idle, the
+// context is done, or the step bound is hit — the deadline-respecting
+// drain of the session API. Metrics reports the state accumulated so far.
+func (c *Cluster) DrainContext(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	for c.steps < maxClusterSteps {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		progressed, err := c.StepNext()
+		if err != nil {
+			return err
+		}
+		if !progressed {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Metrics finalizes and returns the cluster metrics accumulated by the
+// session API (Open / DrainContext). It may be called mid-drive; before
+// any Open it returns zero-valued metrics.
+func (c *Cluster) Metrics() Metrics {
+	if c.acc == nil {
+		c.acc = newAccumulator(c.cfg, c.policy.Name(), 0)
+	}
+	return c.acc.finish(c.engines)
 }

@@ -50,6 +50,9 @@ type Metrics struct {
 	Dispatched int
 	Rejected   int
 	Completed  int
+	// Cancelled counts dispatched session requests cancelled mid-flight
+	// (their KV state was freed without completing; 0 in batch runs).
+	Cancelled int
 
 	// ElapsedSeconds is the cluster makespan (latest instance clock).
 	ElapsedSeconds float64
@@ -95,9 +98,10 @@ type Metrics struct {
 	HostPrefixHits   int
 }
 
-// Stuck counts dispatched requests that never completed. After a drained
-// run it must be 0 — the liveness invariant cluster tests assert.
-func (m Metrics) Stuck() int { return m.Dispatched - m.Completed }
+// Stuck counts dispatched requests that neither completed nor were
+// cancelled. After a drained run it must be 0 — the liveness invariant
+// cluster tests assert.
+func (m Metrics) Stuck() int { return m.Dispatched - m.Completed - m.Cancelled }
 
 // accumulator collects per-event state during a run and finalizes Metrics.
 type accumulator struct {
@@ -159,7 +163,9 @@ func (a *accumulator) finish(engines []*serving.Engine) Metrics {
 	var makespanUs float64
 	var thrash, swapIns int
 	busy := make([]float64, len(engines))
+	m.Cancelled = 0
 	for i, e := range engines {
+		m.Cancelled += e.CancelledSessions()
 		if t := float64(e.Clock()); t > makespanUs {
 			makespanUs = t
 		}

@@ -3,6 +3,7 @@ package cluster
 import (
 	"fmt"
 
+	"diffkv/internal/registry"
 	"diffkv/internal/workload"
 )
 
@@ -45,9 +46,44 @@ const (
 	PolicyPrefixAffinity = "prefix-affinity"
 )
 
-// Policies lists the available routing policy names.
-func Policies() []string {
-	return []string{PolicyRoundRobin, PolicyLeastLoaded, PolicyPrefixAffinity}
+// PolicyFactory builds a fresh routing policy instance for one cluster.
+// Policies are stateful (round-robin cursors, prefix indexes), so the
+// registry holds factories, not instances: every Cluster gets its own.
+type PolicyFactory func(cfg Config) (Policy, error)
+
+// policies is the routing-policy registry; registration order defines
+// the order Policies reports (builtins first, then third-party).
+var policies = registry.New[PolicyFactory]("cluster", "routing policy")
+
+// RegisterPolicy adds a routing policy factory under name. Names must be
+// non-empty and unique.
+func RegisterPolicy(name string, f PolicyFactory) error {
+	if f == nil {
+		return fmt.Errorf("cluster: nil PolicyFactory for %q", name)
+	}
+	return policies.Register(name, f)
+}
+
+func mustRegisterPolicy(name string, f PolicyFactory) {
+	if err := RegisterPolicy(name, f); err != nil {
+		panic(err)
+	}
+}
+
+// Policies lists registered routing policy names in registration order —
+// derived from the registry, never hard-coded.
+func Policies() []string { return policies.Names() }
+
+func init() {
+	mustRegisterPolicy(PolicyRoundRobin, func(Config) (Policy, error) {
+		return NewRoundRobin(), nil
+	})
+	mustRegisterPolicy(PolicyLeastLoaded, func(Config) (Policy, error) {
+		return NewLeastLoaded(), nil
+	})
+	mustRegisterPolicy(PolicyPrefixAffinity, func(cfg Config) (Policy, error) {
+		return NewPrefixAffinity(cfg.BlockTokens, cfg.AffinityQueueBound, cfg.IndexCapacity), nil
+	})
 }
 
 // roundRobin cycles through instances in ID order, skipping over instances
@@ -186,16 +222,16 @@ func (p *prefixAffinity) Observe(req workload.Request, inst int, nowUs float64) 
 	p.index.Add(hashes[:n], inst, nowUs)
 }
 
-// newPolicy builds a routing policy from a cluster Config.
+// newPolicy builds a routing policy from a cluster Config via the
+// registry ("" selects round-robin).
 func newPolicy(cfg Config) (Policy, error) {
-	switch cfg.Policy {
-	case "", PolicyRoundRobin:
-		return NewRoundRobin(), nil
-	case PolicyLeastLoaded:
-		return NewLeastLoaded(), nil
-	case PolicyPrefixAffinity:
-		return NewPrefixAffinity(cfg.BlockTokens, cfg.AffinityQueueBound, cfg.IndexCapacity), nil
-	default:
-		return nil, fmt.Errorf("cluster: unknown routing policy %q (have %v)", cfg.Policy, Policies())
+	name := cfg.Policy
+	if name == "" {
+		name = PolicyRoundRobin
 	}
+	f, err := policies.Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	return f(cfg)
 }

@@ -1,6 +1,10 @@
 package offload
 
-import "fmt"
+import (
+	"fmt"
+
+	"diffkv/internal/registry"
+)
 
 // Recovery is the action a preemption policy applies to its victim.
 type Recovery int
@@ -24,9 +28,39 @@ const (
 	PolicyCompressSwap = "compress-swap"
 )
 
-// Policies lists the available preemption policy names.
-func Policies() []string {
-	return []string{PolicyRecompute, PolicySwap, PolicyCompressSwap}
+// PolicyFactory builds a fresh recovery policy instance for one serving
+// engine. The registry holds factories, not instances, so a policy that
+// keeps per-engine state never leaks it across the parallel experiment
+// workers that build engines concurrently.
+type PolicyFactory func() RecoveryPolicy
+
+// recoveries is the preemption-recovery registry; registration order
+// defines the order Policies reports (builtins first, then third-party).
+var recoveries = registry.New[PolicyFactory]("offload", "preemption policy")
+
+// RegisterPolicy adds a recovery policy factory under name. Names must
+// be non-empty and unique.
+func RegisterPolicy(name string, f PolicyFactory) error {
+	if f == nil {
+		return fmt.Errorf("offload: nil PolicyFactory for %q", name)
+	}
+	return recoveries.Register(name, f)
+}
+
+func mustRegisterPolicy(name string, f PolicyFactory) {
+	if err := RegisterPolicy(name, f); err != nil {
+		panic(err)
+	}
+}
+
+// Policies lists registered preemption policy names in registration
+// order — derived from the registry, never hard-coded.
+func Policies() []string { return recoveries.Names() }
+
+func init() {
+	mustRegisterPolicy(PolicyRecompute, func() RecoveryPolicy { return recomputePolicy{} })
+	mustRegisterPolicy(PolicySwap, func() RecoveryPolicy { return swapPolicy{} })
+	mustRegisterPolicy(PolicyCompressSwap, func() RecoveryPolicy { return compressSwapPolicy{} })
 }
 
 // Victim describes one preemption candidate to a policy.
@@ -86,16 +120,15 @@ func (compressSwapPolicy) Name() string              { return PolicyCompressSwap
 func (compressSwapPolicy) PickVictim(c []Victim) int { return youngestVictim(c) }
 func (compressSwapPolicy) Recovery() Recovery        { return RecoverCompressSwap }
 
-// PolicyFor returns the named recovery policy ("" selects recompute).
+// PolicyFor returns a fresh instance of the named recovery policy via
+// the registry ("" selects recompute).
 func PolicyFor(name string) (RecoveryPolicy, error) {
-	switch name {
-	case "", PolicyRecompute:
-		return recomputePolicy{}, nil
-	case PolicySwap:
-		return swapPolicy{}, nil
-	case PolicyCompressSwap:
-		return compressSwapPolicy{}, nil
-	default:
-		return nil, fmt.Errorf("offload: unknown preemption policy %q (want one of %v)", name, Policies())
+	if name == "" {
+		name = PolicyRecompute
 	}
+	f, err := recoveries.Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	return f(), nil
 }

@@ -273,6 +273,21 @@ func (t *TieredStore) SwapIn(seqID int, nowUs float64) (SwapResult, error) {
 	return res, nil
 }
 
+// Drop discards a host-resident sequence without restoring it to the
+// GPU — the cancellation path: a swapped-out request that will never
+// resume must release its pinned host bytes immediately. Reports whether
+// the sequence was host-resident.
+func (t *TieredStore) Drop(seqID int) bool {
+	hs, ok := t.seqs[seqID]
+	if !ok {
+		return false
+	}
+	delete(t.seqs, seqID)
+	t.hostUsed -= hs.bytes
+	t.putHostSeq(hs)
+	return true
+}
+
 // SwappedCompressed reports whether the host-resident sequence was
 // compress-swapped (its tier mix collapsed to low precision).
 func (t *TieredStore) SwappedCompressed(seqID int) bool {

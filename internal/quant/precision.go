@@ -33,6 +33,17 @@ func (p Precision) String() string {
 	return fmt.Sprintf("K%dV%d", p.KeyBits, p.ValBits)
 }
 
+// ByName returns the named precision configuration — the inverse of
+// String over the configurations above ("FP16", "K8V4", ...).
+func ByName(name string) (Precision, error) {
+	for _, p := range []Precision{FP16, K8V8, K8V4, K4V8, K8V2, K4V2, K2V4, K4V1, K4V4, K2V2} {
+		if p.String() == name {
+			return p, nil
+		}
+	}
+	return Precision{}, fmt.Errorf("quant: unknown precision %q (want KxVy notation, e.g. K8V4, or FP16)", name)
+}
+
 // Valid reports whether both widths are supported.
 func (p Precision) Valid() bool {
 	return ValidBits(p.KeyBits) && ValidBits(p.ValBits)

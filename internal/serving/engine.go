@@ -23,6 +23,7 @@ import (
 	"diffkv/internal/kvcache"
 	"diffkv/internal/mathx"
 	"diffkv/internal/offload"
+	"diffkv/internal/quant"
 	"diffkv/internal/synth"
 	"diffkv/internal/trace"
 	"diffkv/internal/workload"
@@ -46,6 +47,9 @@ type Config struct {
 	HiFrac, LoFrac float64
 	// PageBytes for the manager (default 65536 at serving scale).
 	PageBytes int
+	// HiPrec / LoPrec override the manager's storage tiers (defaults
+	// K8V4 / K4V2, the paper's configuration; only with UseManager).
+	HiPrec, LoPrec quant.Precision
 	// MaxGenLen truncates generations (the paper's per-model generation
 	// limits: 16K for QwQ-32B, 8K for Qwen2.5-32B, 4K otherwise).
 	MaxGenLen int
@@ -102,11 +106,6 @@ func (c *Config) validate() error {
 	}
 	if c.HostMemoryBytes > 0 && !c.UseManager {
 		return fmt.Errorf("serving: host offload tier requires UseManager")
-	}
-	if c.PreemptPolicy != "" && c.PreemptPolicy != offload.PolicyRecompute &&
-		(c.HostMemoryBytes <= 0 || !c.UseManager) {
-		return fmt.Errorf("serving: preempt policy %q requires UseManager and HostMemoryBytes > 0",
-			c.PreemptPolicy)
 	}
 	return nil
 }
@@ -235,6 +234,14 @@ type Engine struct {
 	preemptN     map[int]int
 	retryUs      map[int][]float64
 
+	// session state (Open / DrainContext): per-request handles with token
+	// callbacks and cancellation (see session.go)
+	sessions       map[int]*Session
+	cancelledN     int
+	autoID         int
+	inStep         bool // a scheduler iteration is executing
+	deferredCancel bool // Cancel() arrived mid-step; reap when it ends
+
 	// step scratch: buffers reused across Step calls so the scheduler's
 	// steady state allocates nothing (an Engine is single-goroutine)
 	promptBuf  []*seqState
@@ -259,6 +266,14 @@ func NewEngine(cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	// the requirement is a property of the resolved policy's recovery
+	// action, not of its name, so registered third-party recompute-style
+	// policies work without a host tier
+	if rpolicy.Recovery() != offload.RecoverRecompute &&
+		(cfg.HostMemoryBytes <= 0 || !cfg.UseManager) {
+		return nil, fmt.Errorf("serving: preempt policy %q requires UseManager and HostMemoryBytes > 0",
+			cfg.PreemptPolicy)
+	}
 	e.rpolicy = rpolicy
 	e.headsN = cfg.Model.Layers * cfg.Model.KVHeads
 
@@ -278,6 +293,8 @@ func NewEngine(cfg Config) (*Engine, error) {
 			Dim:       cfg.Model.HeadDim,
 			PageBytes: cfg.PageBytes,
 			NumPages:  numPages,
+			HiPrec:    cfg.HiPrec,
+			LoPrec:    cfg.LoPrec,
 			MaxSeqLen: cfg.Model.MaxSeqLen,
 		})
 		if err != nil {
@@ -567,12 +584,27 @@ func (e *Engine) insertPrefix(group int) *prefixEntry {
 	return ent
 }
 
-// Step executes one scheduler iteration: idle-advance the clock to the
-// next arrival if nothing is running, admit due requests, run one batched
-// prompt or generation step (prompts prioritized, vLLM-style), requeue any
-// preempted sequences, and return the requests completed by this step.
-// Calling Step with no due work is a no-op returning (nil, nil).
+// Step executes one scheduler iteration: reap cancelled sessions,
+// idle-advance the clock to the next arrival if nothing is running, admit
+// due requests, run one batched prompt or generation step (prompts
+// prioritized, vLLM-style), requeue any preempted sequences, and return
+// the requests completed by this step. Calling Step with no due work is a
+// no-op returning (nil, nil).
 func (e *Engine) Step() ([]Completion, error) {
+	e.ReapSessions()
+	e.inStep = true
+	done, err := e.step()
+	e.inStep = false
+	if e.deferredCancel {
+		// a token callback cancelled a session mid-step; free its state
+		// now that the running set is no longer under iteration
+		e.ReapSessions()
+	}
+	return done, err
+}
+
+// step is the scheduler iteration body (sessions already reaped).
+func (e *Engine) step() ([]Completion, error) {
 	e.steps++
 	if len(e.running) == 0 && len(e.swappedQ) == 0 {
 		if len(e.pending) == 0 {
@@ -654,14 +686,17 @@ func (e *Engine) Step() ([]Completion, error) {
 	e.emit(trace.Event{Kind: stepKind, TimeUs: float64(e.clock),
 		Batch: len(e.running), DurUs: float64(stepTime)})
 
-	// first-token timestamps and prefix-cache residency for prompts that
-	// finished in this step
+	// first-token timestamps, prefix-cache residency and session progress
+	// for prompts that finished in this step; then per-token session
+	// updates for the generation batch
 	for _, st := range promptSeqs {
 		if st.promptDone && st.firstTokUs == 0 {
 			st.firstTokUs = float64(e.clock)
 			e.touchPrefix(st)
+			e.notifyFirstToken(st)
 		}
 	}
+	e.notifyGenProgress(genSeqs)
 
 	// release seqState references from the step scratch so completed
 	// sequences are collectable once they leave e.running (the backing
@@ -697,6 +732,11 @@ func (e *Engine) Step() ([]Completion, error) {
 				cp.RetryUs = e.retryUs[st.req.ID]
 				delete(e.preemptN, st.req.ID)
 				delete(e.retryUs, st.req.ID)
+			}
+			if s, ok := e.sessions[st.req.ID]; ok {
+				delete(e.sessions, st.req.ID)
+				s.generated = st.req.GenLen
+				s.finish(cp, nil)
 			}
 			done = append(done, cp)
 			continue

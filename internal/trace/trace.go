@@ -34,6 +34,9 @@ const (
 	KindSwapOut       Kind = "swap_out"
 	KindSwapIn        Kind = "swap_in"
 	KindHostPrefixHit Kind = "host_prefix_hit"
+	// KindCancel marks a session cancelled mid-flight: its KV pages and
+	// any host-tier state were freed without completing the request.
+	KindCancel Kind = "cancel"
 )
 
 // Event is one traced occurrence.

@@ -145,12 +145,12 @@ func (g *RequestGen) Poisson(ratePerSec float64, seconds float64) []Request {
 // a prefix-affinity router can exploit.
 type PrefixConfig struct {
 	// Groups is the number of distinct shared prefixes in the workload.
-	Groups int
+	Groups int `json:"groups"`
 	// PrefixLen is the token length of each shared prefix.
-	PrefixLen int
+	PrefixLen int `json:"prefix_len"`
 	// SharedFrac is the probability a request belongs to some group
 	// (the rest carry fully unique prompts).
-	SharedFrac float64
+	SharedFrac float64 `json:"shared_frac"`
 }
 
 // NextShared samples one request; with probability SharedFrac it joins a

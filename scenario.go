@@ -1,0 +1,314 @@
+package diffkv
+
+// Scenario is the declarative, JSON-serializable description of one
+// serving setup: model, compression method, precision tiers, workload,
+// device count, and optionally a multi-instance cluster with routing,
+// preemption and host-memory offload. Build translates it into a ready
+// Server or ClusterServer stack; the CLIs are thin flag-to-Scenario
+// translations, and a spec checked into a file reproduces a run exactly
+// (sampling is seeded, so Requests is deterministic too).
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"diffkv/internal/quant"
+	"diffkv/internal/workload"
+)
+
+// WorkloadSpec selects the request stream of a scenario. Exactly one
+// arrival shape applies: RatePerSec > 0 samples open-loop Poisson
+// arrivals over Seconds; otherwise Requests are sampled closed-loop at
+// time zero (CoT biases their generations toward the limit, the paper's
+// Fig. 17 setting). Prefix adds shared-prompt-prefix structure.
+type WorkloadSpec struct {
+	Bench      string        `json:"bench"`
+	Requests   int           `json:"requests,omitempty"`
+	RatePerSec float64       `json:"rate_per_sec,omitempty"`
+	Seconds    float64       `json:"seconds,omitempty"`
+	CoT        bool          `json:"cot,omitempty"`
+	Prefix     *PrefixConfig `json:"prefix,omitempty"`
+}
+
+// PrecisionSpec names the storage tiers of a method that runs the real
+// page manager (KxVy notation, e.g. "K8V4"; empty fields keep the
+// paper's K8V4 / K4V2 defaults).
+type PrecisionSpec struct {
+	Hi string `json:"hi,omitempty"`
+	Lo string `json:"lo,omitempty"`
+}
+
+// ClusterSpec turns a scenario into a multi-instance cluster: Instances
+// serving engines behind the named routing policy (any name reported by
+// RoutingPolicies, including runtime registrations).
+type ClusterSpec struct {
+	Instances          int     `json:"instances"`
+	Routing            string  `json:"routing,omitempty"`
+	MaxQueueDepth      int     `json:"max_queue_depth,omitempty"`
+	BlockTokens        int     `json:"block_tokens,omitempty"`
+	AffinityQueueBound int     `json:"affinity_queue_bound,omitempty"`
+	IndexCapacity      int     `json:"index_capacity,omitempty"`
+	TTFTSLOSec         float64 `json:"ttft_slo_sec,omitempty"`
+	TPOTSLOSec         float64 `json:"tpot_slo_sec,omitempty"`
+}
+
+// Scenario is one complete serving configuration. Zero values select the
+// documented defaults, so minimal specs stay minimal:
+//
+//	{"model": "Llama3-8B", "method": "DiffKV", "workload": {"bench": "MATH"}}
+type Scenario struct {
+	// Name labels the scenario in output (optional).
+	Name string `json:"name,omitempty"`
+	// Model is a model-zoo name (see Models / ModelByName).
+	Model string `json:"model"`
+	// Method is a registered serving method name (see Methods).
+	Method string `json:"method"`
+	// MemFrac is the measured resident memory fraction of DiffKV-style
+	// methods (<= 0 selects the method's default; fixed-trait methods
+	// ignore it).
+	MemFrac float64 `json:"mem_frac,omitempty"`
+	// Precision overrides the page-manager storage tiers (methods with a
+	// compression pipeline only).
+	Precision *PrecisionSpec `json:"precision,omitempty"`
+	// Device names the GPU model ("L40", the default and currently only
+	// calibrated device); GPUs is the tensor-parallel size per instance.
+	Device string `json:"device,omitempty"`
+	GPUs   int    `json:"gpus,omitempty"`
+	// MaxGenLen truncates generations (default 4096).
+	MaxGenLen int `json:"max_gen_len,omitempty"`
+	// MemoryReserve holds back a fraction of post-weights memory
+	// (default 0.1; raise it to oversubscribe KV and exercise preemption).
+	MemoryReserve float64 `json:"memory_reserve,omitempty"`
+	// PrefixCacheGroups enables per-instance prefix caching (0 disables).
+	PrefixCacheGroups int `json:"prefix_cache_groups,omitempty"`
+	// Preemption is a registered preemption recovery policy name
+	// (default "recompute"; swap policies need HostMemoryGB > 0).
+	Preemption string `json:"preemption,omitempty"`
+	// HostMemoryGB sizes the host offload tier per instance (0 disables).
+	HostMemoryGB float64 `json:"host_memory_gb,omitempty"`
+	// Workload selects the request stream.
+	Workload WorkloadSpec `json:"workload"`
+	// Cluster, when present, builds a multi-instance cluster instead of a
+	// single server.
+	Cluster *ClusterSpec `json:"cluster,omitempty"`
+	Seed    uint64       `json:"seed,omitempty"`
+	// Tracer, when non-nil, receives the built stack's engine (and
+	// cluster) events. It is runtime-only state, not part of the spec.
+	Tracer Tracer `json:"-"`
+}
+
+// Stack is a scenario translated into live objects: exactly one of
+// Server (single instance) or Cluster (ClusterSpec present) is non-nil,
+// ready for Run, Open-driven sessions, or manual stepping.
+type Stack struct {
+	Scenario  Scenario
+	Model     *Model
+	Benchmark *Benchmark
+	Method    Method
+	Server    *Server
+	Cluster   *ClusterServer
+}
+
+// LoadScenario reads and parses a scenario JSON file. Unknown fields are
+// an error, so typos in specs fail loudly instead of silently selecting
+// defaults.
+func LoadScenario(path string) (*Scenario, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("diffkv: scenario: %w", err)
+	}
+	return ParseScenario(data)
+}
+
+// ParseScenario parses a scenario from JSON bytes (strict: unknown
+// fields are an error).
+func ParseScenario(data []byte) (*Scenario, error) {
+	var s Scenario
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("diffkv: scenario: %w", err)
+	}
+	return &s, nil
+}
+
+// withDefaults returns a copy with zero values resolved to defaults.
+func (s Scenario) withDefaults() Scenario {
+	if s.Device == "" {
+		s.Device = "L40"
+	}
+	if s.GPUs <= 0 {
+		s.GPUs = 1
+	}
+	if s.MaxGenLen <= 0 {
+		s.MaxGenLen = 4096
+	}
+	if s.Workload.RatePerSec > 0 && s.Workload.Seconds <= 0 {
+		s.Workload.Seconds = 60
+	}
+	if s.Workload.RatePerSec <= 0 && s.Workload.Requests <= 0 {
+		s.Workload.Requests = 64
+	}
+	if c := s.Cluster; c != nil {
+		// Instances stays as written: the cluster layer rejects < 1, and
+		// silently defaulting would mask a broken spec
+		cc := *c
+		if cc.Routing == "" {
+			cc.Routing = RouteRoundRobin
+		}
+		s.Cluster = &cc
+	}
+	return s
+}
+
+// Validate resolves every name in the spec against its registry and
+// checks cross-field constraints, returning the first error.
+func (s Scenario) Validate() error {
+	_, err := s.build(false)
+	return err
+}
+
+// Build translates the scenario into a ready stack: the model, benchmark
+// and method are resolved from their registries, and a Server (or, with
+// a ClusterSpec, a ClusterServer) is constructed. Each Build returns a
+// fresh stack — servers serve one run.
+func (s Scenario) Build() (*Stack, error) {
+	return s.build(true)
+}
+
+func (s Scenario) build(construct bool) (*Stack, error) {
+	s = s.withDefaults()
+	st := &Stack{Scenario: s}
+
+	var err error
+	if st.Model, err = ModelByName(s.Model); err != nil {
+		return nil, fmt.Errorf("diffkv: scenario: %w", err)
+	}
+	if st.Method, err = MethodByName(s.Method); err != nil {
+		return nil, fmt.Errorf("diffkv: scenario: %w", err)
+	}
+	if st.Benchmark, err = BenchmarkByName(s.Workload.Bench); err != nil {
+		return nil, fmt.Errorf("diffkv: scenario: %w", err)
+	}
+	if s.Device != "L40" {
+		return nil, fmt.Errorf("diffkv: scenario: unknown device %q (calibrated devices: L40)", s.Device)
+	}
+	if s.Workload.CoT && (s.Workload.RatePerSec > 0 || s.Workload.Prefix != nil) {
+		// Requests would pick the Poisson/prefix sampler and drop the CoT
+		// bias without a trace — reject instead of silently mis-sampling
+		return nil, fmt.Errorf("diffkv: scenario: workload cot only applies to plain closed-loop sampling (drop rate_per_sec/prefix)")
+	}
+
+	ec := ServerConfig{
+		Model:             st.Model,
+		Traits:            st.Method.ServingTraits(s.MemFrac),
+		MaxGenLen:         s.MaxGenLen,
+		MemoryReserve:     s.MemoryReserve,
+		PrefixCacheGroups: s.PrefixCacheGroups,
+		PreemptPolicy:     s.Preemption,
+		HostMemoryBytes:   int64(s.HostMemoryGB * float64(1<<30)),
+		Seed:              s.Seed,
+	}
+	if s.Cluster == nil {
+		// single-instance: the tracer attaches to the engine directly;
+		// cluster builds attach it at the cluster level instead, which
+		// instance-tags every engine's events
+		ec.Tracer = s.Tracer
+	}
+	if hook, ok := st.Method.(CompressionHook); ok {
+		setup := hook.Compression()
+		ec.UseManager = setup.UseManager
+		ec.HiFrac, ec.LoFrac = setup.HiFrac, setup.LoFrac
+	}
+	if p := s.Precision; p != nil {
+		if !ec.UseManager {
+			return nil, fmt.Errorf("diffkv: scenario: precision requires a method with a compression pipeline (%s has none)", s.Method)
+		}
+		if p.Hi != "" {
+			if ec.HiPrec, err = quant.ByName(p.Hi); err != nil {
+				return nil, fmt.Errorf("diffkv: scenario: %w", err)
+			}
+		}
+		if p.Lo != "" {
+			if ec.LoPrec, err = quant.ByName(p.Lo); err != nil {
+				return nil, fmt.Errorf("diffkv: scenario: %w", err)
+			}
+		}
+	}
+	if !construct {
+		// Validate path: constructing the stack is also how the remaining
+		// names (routing, preemption) resolve against their registries,
+		// so build it and let it be collected
+		if s.Cluster != nil {
+			_, err = NewClusterServer(clusterConfig(s, ec))
+		} else {
+			_, err = NewServer(withCluster(ec, s.GPUs))
+		}
+		if err != nil {
+			return nil, err
+		}
+		return st, nil
+	}
+
+	if s.Cluster != nil {
+		if st.Cluster, err = NewClusterServer(clusterConfig(s, ec)); err != nil {
+			return nil, err
+		}
+	} else {
+		if st.Server, err = NewServer(withCluster(ec, s.GPUs)); err != nil {
+			return nil, err
+		}
+	}
+	return st, nil
+}
+
+// withCluster attaches the GPU cluster (engines cannot share one).
+func withCluster(ec ServerConfig, gpus int) ServerConfig {
+	ec.Cluster = NewCluster(L40(), gpus)
+	return ec
+}
+
+// clusterConfig translates spec + engine config into a cluster Config.
+func clusterConfig(s Scenario, ec ServerConfig) ClusterServerConfig {
+	c := s.Cluster
+	return ClusterServerConfig{
+		Instances:          c.Instances,
+		Engine:             withCluster(ec, s.GPUs),
+		Policy:             c.Routing,
+		MaxQueueDepth:      c.MaxQueueDepth,
+		BlockTokens:        c.BlockTokens,
+		IndexCapacity:      c.IndexCapacity,
+		AffinityQueueBound: c.AffinityQueueBound,
+		TTFTSLOUs:          c.TTFTSLOSec * 1e6,
+		TPOTSLOUs:          c.TPOTSLOSec * 1e6,
+		Tracer:             s.Tracer,
+		Seed:               s.Seed,
+	}
+}
+
+// Requests samples the scenario's workload deterministically from its
+// seed: the same spec always yields the same request stream, which is
+// what makes a checked-in scenario file a reproducible experiment.
+func (st *Stack) Requests() []Request {
+	s := st.Scenario
+	g := workload.NewRequestGen(st.Benchmark, s.MaxGenLen, s.Seed)
+	w := s.Workload
+	switch {
+	case w.RatePerSec > 0 && w.Prefix != nil:
+		return g.PoissonShared(w.RatePerSec, w.Seconds, *w.Prefix)
+	case w.RatePerSec > 0:
+		return g.Poisson(w.RatePerSec, w.Seconds)
+	case w.Prefix != nil:
+		reqs := make([]Request, w.Requests)
+		for i := range reqs {
+			reqs[i] = g.NextShared(0, *w.Prefix)
+		}
+		return reqs
+	case w.CoT:
+		return g.CoTBatch(w.Requests)
+	default:
+		return g.Batch(w.Requests)
+	}
+}

@@ -1,0 +1,164 @@
+package diffkv
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenScenario exercises every serializable field of the spec.
+var goldenScenario = Scenario{
+	Name:              "cluster-swap-demo",
+	Model:             "Llama3-8B",
+	Method:            "DiffKV",
+	MemFrac:           0.3,
+	Precision:         &PrecisionSpec{Hi: "K8V4", Lo: "K4V2"},
+	Device:            "L40",
+	GPUs:              1,
+	MaxGenLen:         2048,
+	MemoryReserve:     0.9,
+	PrefixCacheGroups: 8,
+	Preemption:        "swap",
+	HostMemoryGB:      4,
+	Workload: WorkloadSpec{
+		Bench:      "MATH",
+		RatePerSec: 8,
+		Seconds:    30,
+		Prefix:     &PrefixConfig{Groups: 4, PrefixLen: 512, SharedFrac: 0.8},
+	},
+	Cluster: &ClusterSpec{
+		Instances:     2,
+		Routing:       "prefix-affinity",
+		MaxQueueDepth: 64,
+		TTFTSLOSec:    2,
+		TPOTSLOSec:    0.1,
+	},
+	Seed: 42,
+}
+
+// TestScenarioGoldenRoundTrip pins the JSON wire format: the canonical
+// spec marshals byte-identically to the checked-in golden file, and the
+// golden file parses back to the identical value — so specs in the wild
+// survive upgrades, or the golden diff makes the break visible in CI.
+func TestScenarioGoldenRoundTrip(t *testing.T) {
+	path := filepath.Join("testdata", "scenario_golden.json")
+	got, err := json.MarshalIndent(&goldenScenario, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test -run ScenarioGolden -update` to create it)", err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("scenario JSON drifted from golden:\n got: %s\nwant: %s", got, want)
+	}
+
+	parsed, err := ParseScenario(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(*parsed, goldenScenario) {
+		t.Fatalf("golden did not round-trip:\n got %+v\nwant %+v", *parsed, goldenScenario)
+	}
+	if err := parsed.Validate(); err != nil {
+		t.Fatalf("golden scenario invalid: %v", err)
+	}
+}
+
+// TestScenarioStrictParsing: typos must fail loudly, not select defaults.
+func TestScenarioStrictParsing(t *testing.T) {
+	_, err := ParseScenario([]byte(`{"model": "Llama3-8B", "method": "vLLM",
+		"workload": {"bench": "MATH"}, "preemptoin": "swap"}`))
+	if err == nil || !strings.Contains(err.Error(), "preemptoin") {
+		t.Fatalf("unknown field must be rejected by name, got %v", err)
+	}
+}
+
+// TestScenarioValidation sweeps the name-resolution failure modes.
+func TestScenarioValidation(t *testing.T) {
+	base := Scenario{Model: "Llama3-8B", Method: "vLLM", Workload: WorkloadSpec{Bench: "MATH"}}
+	if err := base.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for name, mut := range map[string]func(*Scenario){
+		"model":     func(s *Scenario) { s.Model = "GPT-5" },
+		"method":    func(s *Scenario) { s.Method = "NoSuch" },
+		"bench":     func(s *Scenario) { s.Workload.Bench = "NoSuch" },
+		"device":    func(s *Scenario) { s.Device = "H100" },
+		"precision": func(s *Scenario) { s.Precision = &PrecisionSpec{Hi: "K8V4"} }, // vLLM has no pipeline
+		"routing": func(s *Scenario) {
+			s.Cluster = &ClusterSpec{Instances: 2, Routing: "NoSuch"}
+		},
+		"preempt": func(s *Scenario) { s.Preemption = "NoSuch" },
+		"badprec": func(s *Scenario) { s.Method = "DiffKV"; s.Precision = &PrecisionSpec{Hi: "K7V3"} },
+		"cot-rate": func(s *Scenario) {
+			s.Workload.CoT = true
+			s.Workload.RatePerSec = 4
+		},
+		"cot-prefix": func(s *Scenario) {
+			s.Workload.CoT = true
+			s.Workload.Prefix = &PrefixConfig{Groups: 2, PrefixLen: 128, SharedFrac: 0.5}
+		},
+	} {
+		sc := base
+		mut(&sc)
+		if err := sc.Validate(); err == nil {
+			t.Fatalf("%s: invalid spec passed validation", name)
+		}
+	}
+}
+
+// TestScenarioBuildShapes checks the single-instance / cluster split and
+// deterministic workload sampling.
+func TestScenarioBuildShapes(t *testing.T) {
+	single := Scenario{Model: "Llama3-8B", Method: "vLLM", MaxGenLen: 64,
+		Workload: WorkloadSpec{Bench: "GSM8K", Requests: 4}, Seed: 5}
+	st, err := single.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Server == nil || st.Cluster != nil {
+		t.Fatal("single-instance spec must build a Server")
+	}
+	r1, r2 := st.Requests(), st.Requests()
+	if len(r1) != 4 || !reflect.DeepEqual(r1, r2) {
+		t.Fatalf("workload sampling not deterministic: %v vs %v", r1, r2)
+	}
+	res, err := st.Server.Run(r1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 4 {
+		t.Fatalf("completed %d", res.Completed)
+	}
+
+	// a second Build is a fresh stack (servers serve one run)
+	st2, err := single.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Server == st.Server {
+		t.Fatal("Build must return fresh stacks")
+	}
+
+	// precision override reaches the manager
+	prec := Scenario{Model: "Llama3-8B", Method: "DiffKV", MaxGenLen: 64,
+		Precision: &PrecisionSpec{Hi: "K8V8", Lo: "K4V4"},
+		Workload:  WorkloadSpec{Bench: "GSM8K", Requests: 2}, Seed: 5}
+	if _, err := prec.Build(); err != nil {
+		t.Fatal(err)
+	}
+}
