@@ -91,8 +91,12 @@ func main() {
 		log.Fatal(err)
 	}
 
+	benchLabel := "trace"
+	if st.Benchmark != nil {
+		benchLabel = st.Benchmark.Name
+	}
 	fmt.Printf("%s | %s | %s | %d GPU(s) | %d requests\n",
-		st.Model.Name, sc.Method, st.Benchmark.Name, st.Scenario.GPUs, len(reqs))
+		st.Model.Name, sc.Method, benchLabel, st.Scenario.GPUs, len(reqs))
 	fmt.Printf("  throughput:        %.0f tokens/s\n", res.Throughput)
 	fmt.Printf("  goodput:           %.0f tokens/s (completed requests only)\n", res.GoodputTokensPerSec)
 	fmt.Printf("  avg batch size:    %.1f\n", res.AvgBatch)

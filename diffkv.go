@@ -354,3 +354,38 @@ var ErrSessionCancelled = serving.ErrCancelled
 // ErrClusterSaturated is returned by ClusterServer.Open when admission
 // control sheds the request (every instance at the queue bound).
 var ErrClusterSaturated = cluster.ErrAllSaturated
+
+// Loop is the always-on driver of the serving API: it owns a Server's
+// (or ClusterServer's) step cadence in a background goroutine, makes
+// Open safe from many goroutines, paces steps against simulated time
+// (LoopConfig.TimeScale) and drains gracefully through Shutdown — the
+// concurrency boundary the HTTP gateway, and any other network
+// front-end, builds on. Construct with NewLoop or Stack.StartLoop.
+type Loop = serving.Loop
+
+// LoopConfig parameterizes a Loop (time pacing, idle poll interval).
+type LoopConfig = serving.LoopConfig
+
+// LoopDriver is the steppable surface a Loop drives; *Server and
+// *ClusterServer both implement it.
+type LoopDriver = serving.Driver
+
+// LoopMetrics snapshots a running Loop: loop-level TTFT/TPOT/E2E
+// latency distributions plus the driver's counters (LoopDriverStats).
+type LoopMetrics = serving.LoopMetrics
+
+// LoopDriverStats is the driver-level counter snapshot inside
+// LoopMetrics (queue depth, KV page occupancy, preemptions, offload
+// traffic, throughput/goodput).
+type LoopDriverStats = serving.DriverStats
+
+// LoopLatencyStats summarizes one latency distribution in seconds.
+type LoopLatencyStats = serving.LatencyStats
+
+// ErrLoopShutdown is returned by Loop.Open once Shutdown has begun.
+var ErrLoopShutdown = serving.ErrLoopShutdown
+
+// NewLoop starts an always-on driving loop over a Server or
+// ClusterServer. The caller must eventually call Shutdown to stop the
+// background goroutine.
+func NewLoop(d LoopDriver, cfg LoopConfig) *Loop { return serving.NewLoop(d, cfg) }

@@ -17,10 +17,14 @@ import (
 	"math"
 	"sort"
 
+	"diffkv/internal/gpusim"
 	"diffkv/internal/serving"
 	"diffkv/internal/trace"
 	"diffkv/internal/workload"
 )
+
+// A cluster is drivable by a serving.Loop exactly like a single engine.
+var _ serving.Driver = (*Cluster)(nil)
 
 // ErrAllSaturated is returned by Open when every instance is at the
 // admission bound — the request is shed, mirroring Run's reject path.
@@ -84,7 +88,16 @@ type Cluster struct {
 	sessionMode bool
 	acc         *accumulator
 	steps       int
+	autoID      int
 }
+
+// clusterAutoIDBase keeps cluster-assigned session request IDs clear of
+// workload-generator IDs (counting up from 1) and of the per-engine
+// auto-ID range (starting at 1<<30): engines assign IDs independently,
+// so a two-instance cluster would hand the same engine-assigned ID to
+// two different clients — the cluster assigns before routing instead.
+// 3<<29 (= 1<<30 + 1<<29) still fits a 32-bit int.
+const clusterAutoIDBase = 3 << 29
 
 // New builds a cluster of cfg.Instances engines behind the configured
 // routing policy.
@@ -245,6 +258,12 @@ func (c *Cluster) Open(ctx context.Context, r workload.Request) (*serving.Sessio
 	if c.acc == nil {
 		c.acc = newAccumulator(c.cfg, c.policy.Name(), 0)
 	}
+	if r.ID == 0 {
+		// assign fleet-unique IDs here: per-engine auto-assignment would
+		// collide across instances
+		c.autoID++
+		r.ID = clusterAutoIDBase + c.autoID
+	}
 	idx, ok := c.route(r)
 	if !ok {
 		// a shed request was offered load: it counts as submitted and
@@ -272,14 +291,27 @@ func (c *Cluster) Open(ctx context.Context, r workload.Request) (*serving.Sessio
 	return s, nil
 }
 
+// Step advances the instance with the earliest next step and returns its
+// completions, routing them into the cluster metrics. With no instance
+// work it is a cheap no-op returning (nil, nil) — the same contract as
+// serving.Engine.Step, which is what lets a serving.Loop drive a cluster
+// and a single engine interchangeably.
+func (c *Cluster) Step() ([]serving.Completion, error) {
+	comps, _, err := c.stepNext()
+	return comps, err
+}
+
 // StepNext advances the instance with the earliest next step, routing its
 // completions into the cluster metrics. It reports false when no instance
 // has work (after reaping cancelled sessions). One call is one instance
 // step, so interleaved Open calls between steps model online arrivals.
 func (c *Cluster) StepNext() (bool, error) {
-	for _, e := range c.engines {
-		e.ReapSessions() // cancellations free capacity and may idle an engine
-	}
+	_, progressed, err := c.stepNext()
+	return progressed, err
+}
+
+func (c *Cluster) stepNext() ([]serving.Completion, bool, error) {
+	c.ReapSessions()
 	stepT := math.Inf(1)
 	pick := -1
 	for i, e := range c.engines {
@@ -288,19 +320,87 @@ func (c *Cluster) StepNext() (bool, error) {
 		}
 	}
 	if pick == -1 {
-		return false, nil
+		return nil, false, nil
 	}
 	c.steps++
 	comps, err := c.engines[pick].Step()
 	if err != nil {
-		return true, fmt.Errorf("cluster: instance %d: %w", pick, err)
+		return nil, true, fmt.Errorf("cluster: instance %d: %w", pick, err)
 	}
 	if c.acc != nil {
 		for _, cp := range comps {
 			c.acc.complete(pick, cp)
 		}
 	}
-	return true, nil
+	return comps, true, nil
+}
+
+// ReapSessions frees the state of context-cancelled sessions on every
+// instance — cancellations free capacity and may idle an engine.
+func (c *Cluster) ReapSessions() {
+	for _, e := range c.engines {
+		e.ReapSessions()
+	}
+}
+
+// HasWork reports whether any instance has queued, running or swapped
+// requests.
+func (c *Cluster) HasWork() bool {
+	for _, e := range c.engines {
+		if e.HasWork() {
+			return true
+		}
+	}
+	return false
+}
+
+// NextTime returns the simulated time of the earliest next instance step,
+// and false when no instance has work.
+func (c *Cluster) NextTime() (gpusim.Micros, bool) {
+	best, ok := gpusim.Micros(0), false
+	for _, e := range c.engines {
+		if t, has := e.NextTime(); has && (!ok || t < best) {
+			best, ok = t, true
+		}
+	}
+	return best, ok
+}
+
+// Stats implements serving.Driver: fleet-wide counters summed over
+// instances, plus the cluster's own admission-shed count.
+func (c *Cluster) Stats() serving.DriverStats {
+	ds := serving.DriverStats{Instances: len(c.engines)}
+	if c.acc != nil {
+		ds.Rejected = c.acc.m.Rejected
+	}
+	var genTok, doneTok float64
+	for _, e := range c.engines {
+		es := e.Stats()
+		ds.QueueDepth += es.QueueDepth
+		ds.Running += es.Running
+		ds.Swapped += es.Swapped
+		ds.OpenSessions += es.OpenSessions
+		ds.Completed += es.Completed
+		ds.Cancelled += es.Cancelled
+		ds.Preemptions += es.Preemptions
+		ds.FreeKVPages += es.FreeKVPages
+		ds.UsedKVPages += es.UsedKVPages
+		ds.SwapOutBytes += es.SwapOutBytes
+		ds.SwapInBytes += es.SwapInBytes
+		ds.HostPrefixHits += es.HostPrefixHits
+		if es.ClockUs > ds.ClockUs {
+			ds.ClockUs = es.ClockUs
+		}
+		// per-instance rates are over each instance's own clock; recover
+		// token counts and re-rate them over the cluster makespan
+		genTok += es.ThroughputTokensPerSec * es.ClockUs / 1e6
+		doneTok += es.GoodputTokensPerSec * es.ClockUs / 1e6
+	}
+	if ds.ClockUs > 0 {
+		ds.ThroughputTokensPerSec = genTok / (ds.ClockUs / 1e6)
+		ds.GoodputTokensPerSec = doneTok / (ds.ClockUs / 1e6)
+	}
+	return ds
 }
 
 // DrainContext steps the cluster until every instance is idle, the

@@ -1,0 +1,155 @@
+// Package httpapi is the network-facing serving API: an OpenAI-style
+// HTTP gateway over the Loop-driven session layer. POST /v1/completions
+// opens a Session on the loop and streams token progress back as
+// server-sent events (or returns one JSON body when stream is false);
+// client disconnects cancel the session, freeing its KV pages; /healthz
+// reports liveness and /metrics exports the serving counters in
+// Prometheus text format. The gateway holds no serving state of its own
+// — everything observable comes from Loop.Metrics, everything mutable
+// goes through Loop.Open, so the same handler fronts a single engine or
+// a whole cluster.
+package httpapi
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+	"time"
+
+	"diffkv/internal/cluster"
+	"diffkv/internal/serving"
+)
+
+// Config parameterizes a Gateway.
+type Config struct {
+	// Loop is the always-on driver the gateway opens sessions on.
+	Loop *serving.Loop
+	// ModelName is echoed in completion responses (the simulator serves
+	// one model per stack).
+	ModelName string
+	// DefaultMaxTokens bounds generations when a request omits
+	// max_tokens (default 256).
+	DefaultMaxTokens int
+	// MaxTokensLimit caps client-supplied max_tokens (default 16384,
+	// the largest per-model generation limit in the paper); a request
+	// above it is a 400, not a multi-gigabyte stream buffer.
+	MaxTokensLimit int
+	// MaxPromptTokens caps client-supplied prompt_tokens (default
+	// 1<<20); a simulated prompt longer than any model's context is a
+	// caller error.
+	MaxPromptTokens int
+	// RetryAfter is the Retry-After hint attached to 503 responses when
+	// admission control sheds a request or the loop is draining
+	// (default 1s, rounded up to whole seconds).
+	RetryAfter time.Duration
+}
+
+// Gateway is the HTTP front-end. Construct with New, mount Handler.
+type Gateway struct {
+	cfg   Config
+	start time.Time
+}
+
+// New builds a gateway over a running loop.
+func New(cfg Config) (*Gateway, error) {
+	if cfg.Loop == nil {
+		return nil, errors.New("httpapi: Config.Loop is required")
+	}
+	if cfg.DefaultMaxTokens <= 0 {
+		cfg.DefaultMaxTokens = 256
+	}
+	if cfg.MaxTokensLimit <= 0 {
+		cfg.MaxTokensLimit = 16384
+	}
+	if cfg.MaxPromptTokens <= 0 {
+		cfg.MaxPromptTokens = 1 << 20
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
+	if cfg.ModelName == "" {
+		cfg.ModelName = "diffkv"
+	}
+	return &Gateway{cfg: cfg, start: time.Now()}, nil
+}
+
+// Handler returns the gateway's route table.
+func (g *Gateway) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/completions", g.handleCompletions)
+	mux.HandleFunc("/healthz", g.handleHealthz)
+	mux.HandleFunc("/metrics", g.handleMetrics)
+	return mux
+}
+
+// handleHealthz reports liveness: 200 while serving, 503 with a
+// Retry-After once the loop is draining or has stopped (graceful drain,
+// forced stop, or a driver error), so load balancers stop routing here
+// the moment Opens would start failing.
+func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	m := g.cfg.Loop.Metrics()
+	status := "ok"
+	code := http.StatusOK
+	switch {
+	case m.Stopped:
+		status = "stopped"
+		if err := g.cfg.Loop.Err(); err != nil {
+			status = "failed: " + err.Error()
+		}
+		code = http.StatusServiceUnavailable
+	case m.Draining:
+		status = "draining"
+		code = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", g.retryAfterSeconds())
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]any{
+		"status":         status,
+		"model":          g.cfg.ModelName,
+		"uptime_seconds": m.UptimeSeconds,
+		"open_sessions":  m.Driver.OpenSessions,
+		"completed":      m.Completed,
+	})
+}
+
+func (g *Gateway) retryAfterSeconds() string {
+	secs := int((g.cfg.RetryAfter + time.Second - 1) / time.Second)
+	return strconv.Itoa(secs)
+}
+
+// errorBody is the OpenAI-style error envelope.
+type errorBody struct {
+	Error struct {
+		Message string `json:"message"`
+		Type    string `json:"type"`
+		Code    string `json:"code,omitempty"`
+	} `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, typ, msg string) {
+	var body errorBody
+	body.Error.Message = msg
+	body.Error.Type = typ
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(body)
+}
+
+// writeOpenError maps a Loop.Open failure onto HTTP: saturation
+// (cluster admission shed) and shutdown are 503 with a Retry-After so
+// well-behaved clients back off and retry elsewhere; anything else is a
+// caller error.
+func (g *Gateway) writeOpenError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, cluster.ErrAllSaturated):
+		w.Header().Set("Retry-After", g.retryAfterSeconds())
+		writeError(w, http.StatusServiceUnavailable, "overloaded", err.Error())
+	case errors.Is(err, serving.ErrLoopShutdown):
+		w.Header().Set("Retry-After", g.retryAfterSeconds())
+		writeError(w, http.StatusServiceUnavailable, "shutting_down", err.Error())
+	default:
+		writeError(w, http.StatusBadRequest, "invalid_request_error", err.Error())
+	}
+}

@@ -1,0 +1,70 @@
+package httpapi
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+
+	"diffkv/internal/serving"
+)
+
+// handleMetrics exports the loop and driver counters in Prometheus text
+// exposition format: the TTFT/TPOT/E2E latency distributions as
+// summaries, goodput/throughput as gauges, and the lifetime
+// request/preemption/offload counters. Everything derives from one
+// locked Loop.Metrics snapshot, so a scrape is consistent.
+func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	m := g.cfg.Loop.Metrics()
+	var b strings.Builder
+
+	metric := func(name, help, typ string, v float64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+		fmt.Fprintf(&b, "%s %g\n", name, v)
+	}
+	gauge := func(name, help string, v float64) { metric(name, help, "gauge", v) }
+	counter := func(name, help string, v float64) { metric(name, help, "counter", v) }
+	summary := func(name, help string, s serving.LatencyStats, count int) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s summary\n", name, help, name)
+		fmt.Fprintf(&b, "%s{quantile=\"0.5\"} %g\n", name, s.P50)
+		fmt.Fprintf(&b, "%s{quantile=\"0.95\"} %g\n", name, s.P95)
+		fmt.Fprintf(&b, "%s{quantile=\"0.99\"} %g\n", name, s.P99)
+		fmt.Fprintf(&b, "%s_sum %g\n", name, s.Mean*float64(count))
+		fmt.Fprintf(&b, "%s_count %d\n", name, count)
+	}
+
+	d := m.Driver
+	gauge("diffkv_up", "1 while the serving loop accepts work, 0 once draining or stopped.", boolGauge(!m.Draining && !m.Stopped))
+	gauge("diffkv_uptime_seconds", "Wall time since the loop started.", m.UptimeSeconds)
+	gauge("diffkv_sim_clock_seconds", "Simulated clock the serving engines have reached.", m.SimSeconds)
+	counter("diffkv_loop_steps_total", "Scheduler iterations executed by the loop.", float64(m.Steps))
+	counter("diffkv_sessions_opened_total", "Sessions accepted through the loop.", float64(m.Opened))
+	counter("diffkv_requests_completed_total", "Requests completed.", float64(d.Completed))
+	counter("diffkv_requests_cancelled_total", "Sessions cancelled before completion (disconnects included).", float64(d.Cancelled))
+	counter("diffkv_requests_rejected_total", "Requests shed by cluster admission control.", float64(d.Rejected))
+	counter("diffkv_preemptions_total", "Preemption events (recompute and swap recoveries).", float64(d.Preemptions))
+	gauge("diffkv_instances", "Serving engine instances behind this gateway.", float64(d.Instances))
+	gauge("diffkv_sessions_open", "Sessions currently in flight.", float64(d.OpenSessions))
+	gauge("diffkv_queue_depth", "Requests awaiting admission, summed over instances.", float64(d.QueueDepth))
+	gauge("diffkv_running_requests", "Admitted, in-flight requests.", float64(d.Running))
+	gauge("diffkv_swapped_requests", "Sequences swapped out to the host tier.", float64(d.Swapped))
+	gauge("diffkv_kv_pages_free", "Free KV cache pages, summed over manager-mode instances.", float64(d.FreeKVPages))
+	gauge("diffkv_kv_pages_used", "Used KV cache pages, summed over manager-mode instances.", float64(d.UsedKVPages))
+	counter("diffkv_swap_out_bytes_total", "Bytes swapped out to the host tier.", float64(d.SwapOutBytes))
+	counter("diffkv_swap_in_bytes_total", "Bytes swapped back in from the host tier.", float64(d.SwapInBytes))
+	counter("diffkv_host_prefix_hits_total", "Prefix-cache entries served back from host memory.", float64(d.HostPrefixHits))
+	gauge("diffkv_throughput_tokens_per_sec", "Generated tokens per simulated second.", d.ThroughputTokensPerSec)
+	gauge("diffkv_goodput_tokens_per_sec", "Completed requests' tokens per simulated second.", d.GoodputTokensPerSec)
+	summary("diffkv_ttft_seconds", "Time to first token (simulated seconds).", m.TTFT, m.Completed)
+	summary("diffkv_tpot_seconds", "Time per output token after the first (simulated seconds).", m.TPOT, m.Completed)
+	summary("diffkv_e2e_seconds", "Arrival-to-completion latency (simulated seconds).", m.E2E, m.Completed)
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Write([]byte(b.String()))
+}
+
+func boolGauge(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

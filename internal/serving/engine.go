@@ -201,6 +201,10 @@ type prefixEntry struct {
 	lastUse gpusim.Micros
 }
 
+// An engine is drivable by a Loop (the always-on driver that owns the
+// Step cadence; see loop.go).
+var _ Driver = (*Engine)(nil)
+
 // Engine is the serving simulator.
 type Engine struct {
 	cfg     Config
@@ -782,6 +786,11 @@ func (e *Engine) recordPreemptions(preempted, swapped []*seqState) {
 
 // Drain steps the engine until all submitted work completes (or the step
 // bound is hit, matching the historical Run guard).
+//
+// Deprecated: Drain is the caller-owned, single-threaded driving shim.
+// Online servers should run the engine under a Loop, whose Shutdown is
+// the graceful-drain entry point; Drain remains for batch harnesses
+// (experiments, Run).
 func (e *Engine) Drain() error {
 	for e.HasWork() && e.steps < maxTotalSteps {
 		if _, err := e.Step(); err != nil {

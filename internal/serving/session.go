@@ -133,6 +133,7 @@ func (e *Engine) Open(ctx context.Context, r workload.Request) (*Session, error)
 	s := &Session{eng: e, ctx: ctx, req: r, done: make(chan struct{})}
 	e.sessions[r.ID] = s
 	e.Submit(r)
+	e.emit(trace.Event{Kind: trace.KindOpen, TimeUs: r.ArrivalUs, Seq: r.ID})
 	return s, nil
 }
 

@@ -37,6 +37,10 @@ const (
 	// KindCancel marks a session cancelled mid-flight: its KV pages and
 	// any host-tier state were freed without completing the request.
 	KindCancel Kind = "cancel"
+	// KindOpen marks a session accepted by Engine.Open — the network
+	// accept point of online serving, before admission (KindAdmit) ever
+	// runs. The gap between open and admit is queueing delay.
+	KindOpen Kind = "open"
 )
 
 // Event is one traced occurrence.

@@ -9,27 +9,42 @@ package diffkv
 // (sampling is seeded, so Requests is deterministic too).
 
 import (
-	"bytes"
-	"encoding/json"
 	"fmt"
 	"os"
+	"sort"
 
 	"diffkv/internal/quant"
 	"diffkv/internal/workload"
 )
 
 // WorkloadSpec selects the request stream of a scenario. Exactly one
-// arrival shape applies: RatePerSec > 0 samples open-loop Poisson
+// arrival shape applies: a non-empty Trace replays the hand-authored
+// request list verbatim; RatePerSec > 0 samples open-loop Poisson
 // arrivals over Seconds; otherwise Requests are sampled closed-loop at
 // time zero (CoT biases their generations toward the limit, the paper's
-// Fig. 17 setting). Prefix adds shared-prompt-prefix structure.
+// Fig. 17 setting). Prefix adds shared-prompt-prefix structure to the
+// sampled shapes. Trace excludes every sampling field including Bench —
+// a trace defines its own lengths and arrivals.
 type WorkloadSpec struct {
-	Bench      string        `json:"bench"`
-	Requests   int           `json:"requests,omitempty"`
-	RatePerSec float64       `json:"rate_per_sec,omitempty"`
-	Seconds    float64       `json:"seconds,omitempty"`
-	CoT        bool          `json:"cot,omitempty"`
-	Prefix     *PrefixConfig `json:"prefix,omitempty"`
+	Bench      string         `json:"bench,omitempty"`
+	Requests   int            `json:"requests,omitempty"`
+	RatePerSec float64        `json:"rate_per_sec,omitempty"`
+	Seconds    float64        `json:"seconds,omitempty"`
+	CoT        bool           `json:"cot,omitempty"`
+	Prefix     *PrefixConfig  `json:"prefix,omitempty"`
+	Trace      []TraceRequest `json:"trace,omitempty"`
+}
+
+// TraceRequest is one hand-authored request of a trace workload: an
+// explicit ID (unique across the trace — Build rejects duplicates),
+// arrival time and token counts, replayed exactly as written.
+type TraceRequest struct {
+	ID           int     `json:"id"`
+	ArrivalSec   float64 `json:"arrival_sec,omitempty"`
+	PromptTokens int     `json:"prompt_tokens"`
+	GenTokens    int     `json:"gen_tokens"`
+	PrefixGroup  int     `json:"prefix_group,omitempty"`
+	PrefixLen    int     `json:"prefix_len,omitempty"`
 }
 
 // PrecisionSpec names the storage tiers of a method that runs the real
@@ -52,6 +67,25 @@ type ClusterSpec struct {
 	IndexCapacity      int     `json:"index_capacity,omitempty"`
 	TTFTSLOSec         float64 `json:"ttft_slo_sec,omitempty"`
 	TPOTSLOSec         float64 `json:"tpot_slo_sec,omitempty"`
+}
+
+// GatewaySpec configures the network-facing HTTP gateway over a built
+// stack: where to listen, how to pace the simulation against wall time,
+// and per-request defaults. It parameterizes cmd/diffkv-gateway; the
+// library Build path carries it through untouched.
+type GatewaySpec struct {
+	// Listen is the HTTP listen address (default "127.0.0.1:8080").
+	Listen string `json:"listen,omitempty"`
+	// TimeScale paces engine steps against simulated time: 1 is real
+	// time, 0.1 is 10x faster than real time, 0 (default) runs flat out.
+	TimeScale float64 `json:"time_scale,omitempty"`
+	// DefaultMaxTokens bounds generations when a completion request
+	// omits max_tokens (default 256).
+	DefaultMaxTokens int `json:"default_max_tokens,omitempty"`
+	// DrainTimeoutSec bounds graceful shutdown: how long Shutdown may
+	// drain in-flight sessions before the loop is stopped hard
+	// (default 30).
+	DrainTimeoutSec float64 `json:"drain_timeout_sec,omitempty"`
 }
 
 // Scenario is one complete serving configuration. Zero values select the
@@ -93,6 +127,11 @@ type Scenario struct {
 	// Cluster, when present, builds a multi-instance cluster instead of a
 	// single server.
 	Cluster *ClusterSpec `json:"cluster,omitempty"`
+	// Gateway configures the HTTP serving front-end (diffkv-gateway):
+	// listen address, time pacing and request defaults. Absent, the
+	// gateway binary falls back to its flag defaults; the library Build
+	// path ignores it.
+	Gateway *GatewaySpec `json:"gateway,omitempty"`
 	Seed    uint64       `json:"seed,omitempty"`
 	// Tracer, when non-nil, receives the built stack's engine (and
 	// cluster) events. It is runtime-only state, not part of the spec.
@@ -101,7 +140,9 @@ type Scenario struct {
 
 // Stack is a scenario translated into live objects: exactly one of
 // Server (single instance) or Cluster (ClusterSpec present) is non-nil,
-// ready for Run, Open-driven sessions, or manual stepping.
+// ready for Run, Open-driven sessions, manual stepping, or an always-on
+// Loop (StartLoop). Benchmark is nil for trace workloads, which carry
+// their own request shapes.
 type Stack struct {
 	Scenario  Scenario
 	Model     *Model
@@ -109,6 +150,17 @@ type Stack struct {
 	Method    Method
 	Server    *Server
 	Cluster   *ClusterServer
+}
+
+// StartLoop starts the always-on driver over the stack's server or
+// cluster: the returned Loop owns the step cadence in a background
+// goroutine, accepts Open from any goroutine, and drains through
+// Shutdown. The caller must eventually call Shutdown.
+func (st *Stack) StartLoop(cfg LoopConfig) *Loop {
+	if st.Cluster != nil {
+		return NewLoop(st.Cluster, cfg)
+	}
+	return NewLoop(st.Server, cfg)
 }
 
 // LoadScenario reads and parses a scenario JSON file. Unknown fields are
@@ -120,18 +172,6 @@ func LoadScenario(path string) (*Scenario, error) {
 		return nil, fmt.Errorf("diffkv: scenario: %w", err)
 	}
 	return ParseScenario(data)
-}
-
-// ParseScenario parses a scenario from JSON bytes (strict: unknown
-// fields are an error).
-func ParseScenario(data []byte) (*Scenario, error) {
-	var s Scenario
-	dec := json.NewDecoder(bytes.NewReader(data))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&s); err != nil {
-		return nil, fmt.Errorf("diffkv: scenario: %w", err)
-	}
-	return &s, nil
 }
 
 // withDefaults returns a copy with zero values resolved to defaults.
@@ -148,7 +188,7 @@ func (s Scenario) withDefaults() Scenario {
 	if s.Workload.RatePerSec > 0 && s.Workload.Seconds <= 0 {
 		s.Workload.Seconds = 60
 	}
-	if s.Workload.RatePerSec <= 0 && s.Workload.Requests <= 0 {
+	if s.Workload.RatePerSec <= 0 && s.Workload.Requests <= 0 && len(s.Workload.Trace) == 0 {
 		s.Workload.Requests = 64
 	}
 	if c := s.Cluster; c != nil {
@@ -189,7 +229,13 @@ func (s Scenario) build(construct bool) (*Stack, error) {
 	if st.Method, err = MethodByName(s.Method); err != nil {
 		return nil, fmt.Errorf("diffkv: scenario: %w", err)
 	}
-	if st.Benchmark, err = BenchmarkByName(s.Workload.Bench); err != nil {
+	if len(s.Workload.Trace) > 0 {
+		// a trace workload defines its own lengths and arrivals; nothing
+		// may also select a sampler
+		if err := validateTrace(s.Workload); err != nil {
+			return nil, fmt.Errorf("diffkv: scenario: %w", err)
+		}
+	} else if st.Benchmark, err = BenchmarkByName(s.Workload.Bench); err != nil {
 		return nil, fmt.Errorf("diffkv: scenario: %w", err)
 	}
 	if s.Device != "L40" {
@@ -288,13 +334,59 @@ func clusterConfig(s Scenario, ec ServerConfig) ClusterServerConfig {
 	}
 }
 
+// validateTrace checks a hand-authored trace workload: no sampler
+// fields alongside it, and every request well-formed with a unique
+// positive ID — a duplicate would collide in the engine's session and
+// page-manager tables, so Build rejects it outright.
+func validateTrace(w WorkloadSpec) error {
+	if w.Bench != "" || w.Requests > 0 || w.RatePerSec > 0 || w.Seconds > 0 || w.CoT || w.Prefix != nil {
+		return fmt.Errorf("workload trace excludes bench/requests/rate_per_sec/seconds/cot/prefix (the trace is the workload)")
+	}
+	seen := make(map[int]int, len(w.Trace))
+	for i, tr := range w.Trace {
+		if tr.ID <= 0 {
+			return fmt.Errorf("workload trace[%d]: id must be > 0 (got %d)", i, tr.ID)
+		}
+		if j, dup := seen[tr.ID]; dup {
+			return fmt.Errorf("workload trace[%d]: duplicate request id %d (first used by trace[%d])", i, tr.ID, j)
+		}
+		seen[tr.ID] = i
+		if tr.PromptTokens <= 0 || tr.GenTokens <= 0 {
+			return fmt.Errorf("workload trace[%d] (id %d): prompt_tokens and gen_tokens must be > 0", i, tr.ID)
+		}
+		if tr.ArrivalSec < 0 {
+			return fmt.Errorf("workload trace[%d] (id %d): arrival_sec must be >= 0", i, tr.ID)
+		}
+		if tr.PrefixLen > tr.PromptTokens {
+			return fmt.Errorf("workload trace[%d] (id %d): prefix_len exceeds prompt_tokens", i, tr.ID)
+		}
+	}
+	return nil
+}
+
 // Requests samples the scenario's workload deterministically from its
 // seed: the same spec always yields the same request stream, which is
 // what makes a checked-in scenario file a reproducible experiment.
+// Trace workloads are replayed verbatim in arrival order.
 func (st *Stack) Requests() []Request {
 	s := st.Scenario
-	g := workload.NewRequestGen(st.Benchmark, s.MaxGenLen, s.Seed)
 	w := s.Workload
+	if len(w.Trace) > 0 {
+		reqs := make([]Request, len(w.Trace))
+		for i, tr := range w.Trace {
+			reqs[i] = Request{
+				ID:          tr.ID,
+				ArrivalUs:   tr.ArrivalSec * 1e6,
+				PromptLen:   tr.PromptTokens,
+				GenLen:      tr.GenTokens,
+				PrefixGroup: tr.PrefixGroup,
+				PrefixLen:   tr.PrefixLen,
+			}
+		}
+		sort.SliceStable(reqs, func(a, b int) bool { return reqs[a].ArrivalUs < reqs[b].ArrivalUs })
+		return reqs
+	}
+	g := workload.NewRequestGen(st.Benchmark, s.MaxGenLen, s.Seed)
 	switch {
 	case w.RatePerSec > 0 && w.Prefix != nil:
 		return g.PoissonShared(w.RatePerSec, w.Seconds, *w.Prefix)

@@ -1,0 +1,144 @@
+package diffkv
+
+// Strict scenario parsing with field-path diagnostics: a spec typo like
+// {"workload": {"prefix": {"grops": 4}}} must fail with the offending
+// dotted JSON path ("workload.prefix.grops"), not just the bare key —
+// specs nest three levels deep and the bare name of a misspelled field
+// rarely says where it sits. The checker walks the raw JSON value in
+// parallel with the Scenario struct's json tags; the standard decoder
+// then performs the actual decode (its UnmarshalTypeError already
+// carries a dotted path for type mismatches).
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"reflect"
+	"sort"
+	"strings"
+)
+
+// ParseScenario parses a scenario from JSON bytes. Parsing is strict:
+// unknown fields and type mismatches are errors reporting the dotted
+// path of the offending field.
+func ParseScenario(data []byte) (*Scenario, error) {
+	if err := checkUnknownFields(data, reflect.TypeOf(Scenario{})); err != nil {
+		return nil, fmt.Errorf("diffkv: scenario: %w", err)
+	}
+	var s Scenario
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields() // backstop; the path checker runs first
+	if err := dec.Decode(&s); err != nil {
+		var te *json.UnmarshalTypeError
+		if errors.As(err, &te) && te.Field != "" {
+			return nil, fmt.Errorf("diffkv: scenario: field %q: cannot parse %s as %s",
+				te.Field, te.Value, te.Type)
+		}
+		return nil, fmt.Errorf("diffkv: scenario: %w", err)
+	}
+	return &s, nil
+}
+
+// checkUnknownFields reports the dotted path of the first JSON object
+// key (in sorted order, for determinism) that no struct field accepts.
+func checkUnknownFields(data []byte, t reflect.Type) error {
+	var raw any
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	return walkUnknown(raw, t, "")
+}
+
+func walkUnknown(v any, t reflect.Type, path string) error {
+	for t.Kind() == reflect.Pointer {
+		t = t.Elem()
+	}
+	switch t.Kind() {
+	case reflect.Struct:
+		obj, ok := v.(map[string]any)
+		if !ok {
+			return nil // type mismatch: left to the real decoder
+		}
+		fields := jsonFieldsOf(t)
+		keys := make([]string, 0, len(obj))
+		for k := range obj {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, key := range keys {
+			ft, known := fields[key]
+			if !known {
+				// mirror encoding/json: exact match first, then
+				// case-insensitive — a case-variant key is not unknown
+				for name, typ := range fields {
+					if strings.EqualFold(name, key) {
+						ft, known = typ, true
+						break
+					}
+				}
+			}
+			full := key
+			if path != "" {
+				full = path + "." + key
+			}
+			if !known {
+				return fmt.Errorf("unknown field %q", full)
+			}
+			if err := walkUnknown(obj[key], ft, full); err != nil {
+				return err
+			}
+		}
+	case reflect.Slice, reflect.Array:
+		arr, ok := v.([]any)
+		if !ok {
+			return nil
+		}
+		for i, el := range arr {
+			if err := walkUnknown(el, t.Elem(), fmt.Sprintf("%s[%d]", path, i)); err != nil {
+				return err
+			}
+		}
+	case reflect.Map:
+		obj, ok := v.(map[string]any)
+		if !ok {
+			return nil
+		}
+		keys := make([]string, 0, len(obj))
+		for k := range obj {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, key := range keys {
+			full := key
+			if path != "" {
+				full = path + "." + key
+			}
+			if err := walkUnknown(obj[key], t.Elem(), full); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// jsonFieldsOf maps a struct's accepted JSON keys to their field types
+// (tag name, or the Go field name when untagged; "-" fields excluded).
+func jsonFieldsOf(t reflect.Type) map[string]reflect.Type {
+	out := make(map[string]reflect.Type, t.NumField())
+	for i := 0; i < t.NumField(); i++ {
+		f := t.Field(i)
+		if !f.IsExported() {
+			continue
+		}
+		name, _, _ := strings.Cut(f.Tag.Get("json"), ",")
+		if name == "-" {
+			continue
+		}
+		if name == "" {
+			name = f.Name
+		}
+		out[name] = f.Type
+	}
+	return out
+}

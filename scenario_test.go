@@ -39,6 +39,12 @@ var goldenScenario = Scenario{
 		TTFTSLOSec:    2,
 		TPOTSLOSec:    0.1,
 	},
+	Gateway: &GatewaySpec{
+		Listen:           "127.0.0.1:8080",
+		TimeScale:        1,
+		DefaultMaxTokens: 256,
+		DrainTimeoutSec:  30,
+	},
 	Seed: 42,
 }
 
@@ -84,6 +90,89 @@ func TestScenarioStrictParsing(t *testing.T) {
 		"workload": {"bench": "MATH"}, "preemptoin": "swap"}`))
 	if err == nil || !strings.Contains(err.Error(), "preemptoin") {
 		t.Fatalf("unknown field must be rejected by name, got %v", err)
+	}
+}
+
+// TestScenarioErrorFieldPaths: strict-parse failures name the dotted
+// JSON path of the offending field, however deep it nests.
+func TestScenarioErrorFieldPaths(t *testing.T) {
+	for _, tc := range []struct {
+		name, spec, wantPath string
+	}{
+		{"nested unknown",
+			`{"model": "Llama3-8B", "method": "vLLM",
+			  "workload": {"bench": "MATH", "prefix": {"grops": 4}}}`,
+			`"workload.prefix.grops"`},
+		{"trace element unknown",
+			`{"model": "Llama3-8B", "method": "vLLM",
+			  "workload": {"trace": [
+			    {"id": 1, "prompt_tokens": 64, "gen_tokens": 8},
+			    {"id": 2, "prompt_tokens": 64, "gen_tokn": 8}]}}`,
+			`"workload.trace[1].gen_tokn"`},
+		{"cluster unknown",
+			`{"model": "Llama3-8B", "method": "vLLM",
+			  "workload": {"bench": "MATH"},
+			  "cluster": {"instances": 2, "ruoting": "round-robin"}}`,
+			`"cluster.ruoting"`},
+		{"type mismatch path",
+			`{"model": "Llama3-8B", "method": "vLLM",
+			  "workload": {"bench": "MATH", "rate_per_sec": "fast"}}`,
+			`"workload.rate_per_sec"`},
+	} {
+		_, err := ParseScenario([]byte(tc.spec))
+		if err == nil || !strings.Contains(err.Error(), tc.wantPath) {
+			t.Fatalf("%s: error must carry the field path %s, got: %v", tc.name, tc.wantPath, err)
+		}
+	}
+}
+
+// TestScenarioTraceWorkload covers the hand-authored request-list
+// workload: verbatim replay in arrival order, no benchmark needed, and
+// Build-time rejection of malformed traces — duplicate IDs above all.
+func TestScenarioTraceWorkload(t *testing.T) {
+	sc := Scenario{Model: "Llama3-8B", Method: "vLLM", MaxGenLen: 64,
+		Workload: WorkloadSpec{Trace: []TraceRequest{
+			{ID: 2, ArrivalSec: 0.5, PromptTokens: 128, GenTokens: 16},
+			{ID: 1, PromptTokens: 256, GenTokens: 8},
+		}}}
+	st, err := sc.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Benchmark != nil {
+		t.Fatal("trace workloads carry their own shapes; Benchmark must be nil")
+	}
+	reqs := st.Requests()
+	if len(reqs) != 2 || reqs[0].ID != 1 || reqs[1].ID != 2 {
+		t.Fatalf("trace not replayed in arrival order: %+v", reqs)
+	}
+	if reqs[1].ArrivalUs != 0.5e6 || reqs[0].PromptLen != 256 {
+		t.Fatalf("trace fields mangled: %+v", reqs)
+	}
+	res, err := st.Server.Run(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 2 {
+		t.Fatalf("completed %d", res.Completed)
+	}
+
+	for name, mut := range map[string]func(*Scenario){
+		"duplicate id": func(s *Scenario) { s.Workload.Trace[1].ID = 2 },
+		"zero id":      func(s *Scenario) { s.Workload.Trace[0].ID = 0 },
+		"no tokens":    func(s *Scenario) { s.Workload.Trace[0].GenTokens = 0 },
+		"neg arrival":  func(s *Scenario) { s.Workload.Trace[0].ArrivalSec = -1 },
+		"long prefix":  func(s *Scenario) { s.Workload.Trace[0].PrefixLen = 4096 },
+		"trace+bench":  func(s *Scenario) { s.Workload.Bench = "MATH" },
+		"trace+rate":   func(s *Scenario) { s.Workload.RatePerSec = 2 },
+		"trace+secs":   func(s *Scenario) { s.Workload.Seconds = 30 },
+	} {
+		bad := sc
+		bad.Workload.Trace = append([]TraceRequest(nil), sc.Workload.Trace...)
+		mut(&bad)
+		if _, err := bad.Build(); err == nil {
+			t.Fatalf("%s: invalid trace passed Build", name)
+		}
 	}
 }
 

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Gateway smoke test: boot diffkv-gateway from the checked-in scenario
+# spec, stream one completion over SSE, scrape /metrics for the serving
+# series, then shut down cleanly via SIGINT (graceful drain). Run from
+# the repository root; CI runs this after the unit tests.
+set -euo pipefail
+
+ADDR="${GATEWAY_ADDR:-127.0.0.1:8178}"
+TMP="$(mktemp -d)"
+trap 'kill -9 "$PID" 2>/dev/null || true; rm -rf "$TMP"' EXIT
+
+go build -o "$TMP/diffkv-gateway" ./cmd/diffkv-gateway
+"$TMP/diffkv-gateway" -scenario testdata/scenario_gateway.json -listen "$ADDR" &
+PID=$!
+
+for _ in $(seq 1 50); do
+  curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1 && break
+  sleep 0.2
+done
+curl -fsS "http://$ADDR/healthz"; echo
+
+# one streamed completion: tokens must arrive as SSE chunks ending in [DONE]
+OUT="$(curl -fsS -N --max-time 60 \
+  -d '{"prompt": "gateway smoke", "max_tokens": 16, "stream": true}' \
+  "http://$ADDR/v1/completions")"
+CHUNKS="$(printf '%s\n' "$OUT" | grep -c '^data: {')"
+echo "SSE chunks: $CHUNKS"
+# First-token chunk + 16 token chunks + final usage chunk
+[ "$CHUNKS" -ge 17 ]
+printf '%s\n' "$OUT" | grep -q '^data: \[DONE\]'
+printf '%s\n' "$OUT" | grep -q '"finish_reason":"stop"'
+
+# the serving series an operator scrapes
+METRICS="$(curl -fsS "http://$ADDR/metrics")"
+printf '%s\n' "$METRICS" | grep 'diffkv_ttft_seconds{quantile="0.5"}'
+printf '%s\n' "$METRICS" | grep 'diffkv_tpot_seconds{quantile="0.95"}'
+printf '%s\n' "$METRICS" | grep 'diffkv_goodput_tokens_per_sec'
+printf '%s\n' "$METRICS" | grep -q '^diffkv_requests_completed_total 1'
+
+# clean shutdown: SIGINT drains and the process exits 0
+kill -INT "$PID"
+wait "$PID"
+trap 'rm -rf "$TMP"' EXIT
+echo "gateway smoke OK"
