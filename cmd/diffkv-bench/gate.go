@@ -1,0 +1,125 @@
+package main
+
+// Benchmark regression gate: `diffkv-bench -gate BASELINE.json` re-runs
+// the kernel micro-benchmarks (best of three, the same measurement
+// writePerfJSON records) and fails when any kernel regresses beyond the
+// tolerance against the baseline snapshot. The baseline may be a plain
+// PerfSnapshot (BENCH_PR2/3/5 style) or a before/after comparison
+// document whose "after" member is one (BENCH_PR4 style) — the gate
+// reads whichever kernel list the file carries.
+//
+// Snapshots are recorded on shared hosts whose load varies run to run,
+// so raw ns/op drifts uniformly across the whole suite. The gate
+// therefore normalizes each kernel's now/base ratio by the suite's
+// median ratio before applying the tolerance: a host that is 10% busier
+// shifts every kernel and cancels out, while one kernel regressing
+// relative to its peers still fails.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// loadBaselineKernels extracts the kernel measurements from a baseline
+// snapshot in either of the checked-in schemas.
+func loadBaselineKernels(path string) ([]KernelResult, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc struct {
+		Kernels []KernelResult `json:"kernels"`
+		After   *struct {
+			Kernels []KernelResult `json:"kernels"`
+		} `json:"after"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("gate: %s: %w", path, err)
+	}
+	kernels := doc.Kernels
+	if len(kernels) == 0 && doc.After != nil {
+		kernels = doc.After.Kernels
+	}
+	if len(kernels) == 0 {
+		return nil, fmt.Errorf("gate: %s carries no kernel measurements", path)
+	}
+	return kernels, nil
+}
+
+// hostFactor is the median now/base ratio over kernels present in both
+// runs — the suite-wide speed shift attributable to host load.
+func hostFactor(ratios []float64) float64 {
+	if len(ratios) == 0 {
+		return 1
+	}
+	rs := append([]float64(nil), ratios...)
+	sort.Float64s(rs)
+	n := len(rs)
+	if n%2 == 1 {
+		return rs[n/2]
+	}
+	return (rs[n/2-1] + rs[n/2]) / 2
+}
+
+// runGate compares freshly measured kernels against the baseline and
+// returns an error when any regresses beyond tolerance (0.20 = 20%)
+// after normalizing out the suite-wide host-speed shift.
+func runGate(baselinePath string, tolerance float64) error {
+	baseline, err := loadBaselineKernels(baselinePath)
+	if err != nil {
+		return err
+	}
+	base := make(map[string]KernelResult, len(baseline))
+	for _, k := range baseline {
+		base[k.Name] = k
+	}
+
+	current := measureKernels(3)
+	var ratios []float64
+	for _, k := range current {
+		if b, ok := base[k.Name]; ok && b.NsPerOp > 0 {
+			ratios = append(ratios, k.NsPerOp/b.NsPerOp)
+		}
+	}
+	host := hostFactor(ratios)
+
+	fmt.Printf("host factor (median now/base): %.3f\n", host)
+	fmt.Printf("%-34s %12s %12s %9s %9s\n", "kernel", "base ns/op", "now ns/op", "raw", "adjusted")
+	var regressions []string
+	seen := map[string]bool{}
+	for _, k := range current {
+		seen[k.Name] = true
+		b, ok := base[k.Name]
+		if !ok || b.NsPerOp <= 0 {
+			fmt.Printf("%-34s %12s %12.0f %9s %9s\n", k.Name, "-", k.NsPerOp, "new", "-")
+			continue
+		}
+		raw := k.NsPerOp/b.NsPerOp - 1
+		adj := k.NsPerOp/(b.NsPerOp*host) - 1
+		flag := ""
+		if adj > tolerance {
+			flag = "  << REGRESSION"
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %.0f -> %.0f ns/op (%+.1f%% after host normalization, tolerance %.0f%%)",
+					k.Name, b.NsPerOp, k.NsPerOp, adj*100, tolerance*100))
+		}
+		fmt.Printf("%-34s %12.0f %12.0f %+8.1f%% %+8.1f%%%s\n",
+			k.Name, b.NsPerOp, k.NsPerOp, raw*100, adj*100, flag)
+	}
+	for _, b := range baseline {
+		if !seen[b.Name] {
+			fmt.Printf("%-34s %12.0f %12s %9s %9s\n", b.Name, b.NsPerOp, "-", "gone", "-")
+		}
+	}
+	if len(regressions) > 0 {
+		msg := "gate: kernel regressions beyond tolerance:"
+		for _, r := range regressions {
+			msg += "\n  " + r
+		}
+		return fmt.Errorf("%s", msg)
+	}
+	fmt.Printf("gate: %d kernels within %.0f%% of %s\n", len(current), tolerance*100, baselinePath)
+	return nil
+}

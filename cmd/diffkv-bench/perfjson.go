@@ -207,21 +207,42 @@ func runLoopHotPath(seed uint64) ([]ServingHotPathResult, error) {
 	return out, nil
 }
 
+// measureKernels runs every kernel micro-benchmark reps times and keeps
+// each kernel's best (minimum ns/op) run: a single run is exposed to
+// scheduler noise on a shared host — the BENCH_PR5 snapshot recorded a
+// ~70% CompressedAttention1KScratch outlier that way — while the
+// fastest of several runs approximates the noise-free cost.
+func measureKernels(reps int) []KernelResult {
+	if reps < 1 {
+		reps = 1
+	}
+	var out []KernelResult
+	for _, kb := range benchkernels.List() {
+		var best KernelResult
+		for rep := 0; rep < reps; rep++ {
+			r := testing.Benchmark(kb.Fn)
+			kr := KernelResult{
+				Name:        kb.Name,
+				NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+				AllocsPerOp: r.AllocsPerOp(),
+				BytesPerOp:  r.AllocedBytesPerOp(),
+			}
+			if rep == 0 || kr.NsPerOp < best.NsPerOp {
+				best = kr
+			}
+		}
+		out = append(out, best)
+	}
+	return out
+}
+
 // writePerfJSON runs the perf snapshot and writes it to path.
 func writePerfJSON(path string, seed uint64, workers int) error {
 	snap := PerfSnapshot{
 		GoVersion: runtime.Version(),
 		NumCPU:    runtime.NumCPU(),
 		Workers:   workers,
-	}
-	for _, kb := range benchkernels.List() {
-		r := testing.Benchmark(kb.Fn)
-		snap.Kernels = append(snap.Kernels, KernelResult{
-			Name:        kb.Name,
-			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
-			AllocsPerOp: r.AllocsPerOp(),
-			BytesPerOp:  r.AllocedBytesPerOp(),
-		})
+		Kernels:   measureKernels(3),
 	}
 	for _, id := range experiments.IDs() {
 		start := time.Now()

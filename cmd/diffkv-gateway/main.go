@@ -40,6 +40,8 @@ func main() {
 		maxGen       = flag.Int("maxgen", 4096, "generation limit (flag mode)")
 		timeScale    = flag.Float64("timescale", -1, "simulated-to-wall time pacing: 1 = real time, 0 = flat out (-1 keeps the scenario's value)")
 		seed         = flag.Uint64("seed", 42, "random seed (flag mode)")
+		debugFlag    = flag.Bool("debug", false, "enable request tracing and the /debug routes even without an observability spec")
+		perfettoOut  = flag.String("perfetto", "", "write the retained trace as a Perfetto file here on shutdown (overrides the scenario's observability.perfetto_path)")
 	)
 	flag.Parse()
 
@@ -77,17 +79,36 @@ func main() {
 	if gw.DrainTimeoutSec <= 0 {
 		gw.DrainTimeoutSec = 30
 	}
+	obs := diffkv.ObservabilitySpec{}
+	if sc.Observability != nil {
+		obs = *sc.Observability
+	}
+	if *debugFlag {
+		obs.Debug = true
+	}
+	if *perfettoOut != "" {
+		obs.PerfettoPath = *perfettoOut
+	}
+	var col *diffkv.TraceCollector
+	if sc.Observability != nil || obs.Debug || obs.PerfettoPath != "" {
+		col = diffkv.NewTraceCollector(obs.TraceEvents)
+		sc.Tracer = col
+	}
 
 	st, err := sc.Build()
 	if err != nil {
 		log.Fatal(err)
 	}
 	loop := st.StartLoop(diffkv.LoopConfig{TimeScale: gw.TimeScale})
-	api, err := httpapi.New(httpapi.Config{
+	apiCfg := httpapi.Config{
 		Loop:             loop,
 		ModelName:        st.Model.Name,
 		DefaultMaxTokens: gw.DefaultMaxTokens,
-	})
+	}
+	if col != nil && obs.Debug {
+		apiCfg.Trace = col
+	}
+	api, err := httpapi.New(apiCfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -132,7 +153,28 @@ func main() {
 	if err := srv.Shutdown(ctx); err != nil {
 		log.Printf("diffkv-gateway: http shutdown: %v", err)
 	}
+	if col != nil && obs.PerfettoPath != "" {
+		if err := writePerfetto(col, obs.PerfettoPath); err != nil {
+			log.Printf("diffkv-gateway: perfetto: %v", err)
+		} else {
+			log.Printf("diffkv-gateway: wrote trace (%d events, %d dropped) to %s — open in ui.perfetto.dev",
+				col.Retained(), col.Dropped(), obs.PerfettoPath)
+		}
+	}
 	m := loop.Metrics()
 	log.Printf("diffkv-gateway: done — %d opened, %d completed, %d cancelled, %d steps, %.1fs simulated",
 		m.Opened, m.Completed, m.Driver.Cancelled, m.Steps, m.SimSeconds)
+}
+
+// writePerfetto dumps the collector as a Perfetto trace-event file.
+func writePerfetto(col *diffkv.TraceCollector, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := col.WritePerfetto(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -1,0 +1,288 @@
+// Command diffkv-trace analyzes a diffkv trace offline: it reads an
+// event stream (JSONL from TraceCollector.WriteJSONL, or a Perfetto
+// export from /debug/trace — both round-trip), rebuilds every request's
+// lifecycle span tree, and reports where the latency went — per-phase
+// P50/P95/P99 across requests, the queueing onset (when admission wait
+// starts climbing), and preemption-storm windows (bursts of
+// preempt/swap_out events). It is the post-mortem counterpart of the
+// gateway's live /debug endpoints: same span builder, same numbers.
+//
+// Usage:
+//
+//	diffkv-trace trace.jsonl
+//	diffkv-trace -json trace.jsonl
+//	diffkv-trace -req 17 trace.jsonl          # one request's span tree
+//	diffkv-trace -perfetto out.json trace.jsonl   # convert for ui.perfetto.dev
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"diffkv/internal/stats"
+	"diffkv/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("diffkv-trace: ")
+	var (
+		jsonOut      = flag.Bool("json", false, "emit the full report as JSON instead of text")
+		reqID        = flag.Int("req", 0, "print one request's span tree (by sequence ID) and exit")
+		perfettoPath = flag.String("perfetto", "", "convert the trace to a Perfetto trace-event file and exit")
+		stormWindow  = flag.Float64("storm-window", 100, "preemption-storm detection window in simulated ms")
+		stormMin     = flag.Int("storm-min", 4, "minimum preemptions within the window to flag a storm")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: diffkv-trace [flags] <trace.jsonl | perfetto.json>")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	events, err := trace.ReadEvents(f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(events) == 0 {
+		log.Fatal("no events in trace")
+	}
+
+	if *perfettoPath != "" {
+		out, err := os.Create(*perfettoPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := trace.WritePerfettoEvents(out, events); err != nil {
+			out.Close()
+			log.Fatal(err)
+		}
+		if err := out.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %d events to %s — open in ui.perfetto.dev\n", len(events), *perfettoPath)
+		return
+	}
+
+	trees := trace.BuildRequestSpans(events)
+	if *reqID != 0 {
+		rt := trace.FindRequestSpans(trees, *reqID)
+		if rt == nil {
+			log.Fatalf("no request %d in trace", *reqID)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(rt)
+		return
+	}
+
+	rep := analyze(events, trees, *stormWindow*1e3, *stormMin)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(rep)
+		return
+	}
+	rep.print()
+}
+
+// phaseDist summarizes one phase's per-request latency distribution in
+// milliseconds, over the requests that spent time in it.
+type phaseDist struct {
+	Phase   string  `json:"phase"`
+	Count   int     `json:"count"`
+	P50Ms   float64 `json:"p50_ms"`
+	P95Ms   float64 `json:"p95_ms"`
+	P99Ms   float64 `json:"p99_ms"`
+	MeanMs  float64 `json:"mean_ms"`
+	TotalMs float64 `json:"total_ms"`
+}
+
+// storm is one preemption-storm window: a burst of preempt/swap_out
+// events dense enough to flag scheduler thrashing.
+type storm struct {
+	StartMs     float64 `json:"start_ms"`
+	EndMs       float64 `json:"end_ms"`
+	Preemptions int     `json:"preemptions"`
+	Requests    int     `json:"requests"`
+}
+
+// report is the full analysis output.
+type report struct {
+	Events    int `json:"events"`
+	Requests  int `json:"requests"`
+	Completed int `json:"completed"`
+	Cancelled int `json:"cancelled"`
+	InFlight  int `json:"in_flight"`
+	// Phases has one distribution per lifecycle phase plus e2e.
+	Phases []phaseDist `json:"phases"`
+	// QueueingOnsetMs is the arrival time (ms) of the first request whose
+	// queueing delay exceeded twice the median across the trace — the
+	// point where the engine stopped keeping up with arrivals (-1 when
+	// queueing never climbed).
+	QueueingOnsetMs float64 `json:"queueing_onset_ms"`
+	// Storms lists preemption-storm windows, densest first.
+	Storms []storm `json:"storms,omitempty"`
+	// SwapOutBytes / SwapInBytes total the PCIe traffic of swap events.
+	SwapOutBytes int64 `json:"swap_out_bytes,omitempty"`
+	SwapInBytes  int64 `json:"swap_in_bytes,omitempty"`
+}
+
+// analyze computes the report: phase distributions over completed
+// requests, the queueing onset, and preemption storms over all events.
+func analyze(events []trace.Event, trees []*trace.RequestSpans, windowUs float64, stormMin int) report {
+	rep := report{Events: len(events), Requests: len(trees)}
+
+	var queue, prefill, decode, stall, swapped, e2e []float64
+	type arrival struct{ startUs, queueUs float64 }
+	var arrivals []arrival
+	for _, rt := range trees {
+		switch {
+		case rt.Completed:
+			rep.Completed++
+		case rt.Cancelled:
+			rep.Cancelled++
+		default:
+			rep.InFlight++
+		}
+		if !rt.Completed {
+			continue // partial lifecycles would skew the distributions
+		}
+		queue = append(queue, rt.Phases.QueueUs)
+		prefill = append(prefill, rt.Phases.PrefillUs)
+		decode = append(decode, rt.Phases.DecodeUs)
+		if rt.Phases.StallUs > 0 {
+			stall = append(stall, rt.Phases.StallUs)
+		}
+		if rt.Phases.SwappedUs > 0 {
+			swapped = append(swapped, rt.Phases.SwappedUs)
+		}
+		e2e = append(e2e, rt.E2EUs())
+		arrivals = append(arrivals, arrival{rt.StartUs, rt.Phases.QueueUs})
+	}
+	for _, d := range []struct {
+		name string
+		xs   []float64
+	}{
+		{"queue", queue}, {"prefill", prefill}, {"decode", decode},
+		{"stall", stall}, {"swapped", swapped}, {"e2e", e2e},
+	} {
+		if len(d.xs) == 0 {
+			continue
+		}
+		var sum float64
+		for _, v := range d.xs {
+			sum += v
+		}
+		rep.Phases = append(rep.Phases, phaseDist{
+			Phase:   d.name,
+			Count:   len(d.xs),
+			P50Ms:   stats.Quantile(d.xs, 0.50) / 1e3,
+			P95Ms:   stats.Quantile(d.xs, 0.95) / 1e3,
+			P99Ms:   stats.Quantile(d.xs, 0.99) / 1e3,
+			MeanMs:  sum / float64(len(d.xs)) / 1e3,
+			TotalMs: sum / 1e3,
+		})
+	}
+
+	// queueing onset: the first arrival (in arrival order) whose queueing
+	// delay exceeds 2x the median — sustained climb, not a one-off blip,
+	// because every later arrival behind it queues at least as long
+	rep.QueueingOnsetMs = -1
+	if len(arrivals) >= 4 {
+		sort.Slice(arrivals, func(i, j int) bool { return arrivals[i].startUs < arrivals[j].startUs })
+		med := stats.Quantile(queue, 0.50)
+		threshold := 2 * med
+		if threshold < 1 { // all-zero queueing: any wait at all is onset
+			threshold = 1
+		}
+		for _, a := range arrivals {
+			if a.queueUs > threshold {
+				rep.QueueingOnsetMs = a.startUs / 1e3
+				break
+			}
+		}
+	}
+
+	// preemption storms: slide a window over preempt/swap_out times and
+	// greedily take the densest non-overlapping windows
+	var preempts []trace.Event
+	for _, e := range events {
+		switch e.Kind {
+		case trace.KindPreempt, trace.KindSwapOut:
+			preempts = append(preempts, e)
+		}
+		switch e.Kind {
+		case trace.KindSwapOut:
+			rep.SwapOutBytes += e.Bytes
+		case trace.KindSwapIn:
+			rep.SwapInBytes += e.Bytes
+		}
+	}
+	sort.SliceStable(preempts, func(i, j int) bool { return preempts[i].TimeUs < preempts[j].TimeUs })
+	for i := 0; i < len(preempts); {
+		j := i
+		for j < len(preempts) && preempts[j].TimeUs <= preempts[i].TimeUs+windowUs {
+			j++
+		}
+		if j-i >= stormMin {
+			seqs := map[trace.InstSeq]bool{}
+			for _, e := range preempts[i:j] {
+				seqs[trace.InstSeq{Inst: e.Inst, Seq: e.Seq}] = true
+			}
+			rep.Storms = append(rep.Storms, storm{
+				StartMs:     preempts[i].TimeUs / 1e3,
+				EndMs:       preempts[j-1].TimeUs / 1e3,
+				Preemptions: j - i,
+				Requests:    len(seqs),
+			})
+			i = j // non-overlapping: next storm starts after this one
+			continue
+		}
+		i++
+	}
+	sort.SliceStable(rep.Storms, func(i, j int) bool {
+		return rep.Storms[i].Preemptions > rep.Storms[j].Preemptions
+	})
+	return rep
+}
+
+// print renders the report as text.
+func (r report) print() {
+	fmt.Printf("%d events, %d requests (%d completed, %d cancelled, %d in flight)\n",
+		r.Events, r.Requests, r.Completed, r.Cancelled, r.InFlight)
+	if len(r.Phases) > 0 {
+		fmt.Printf("\n%-8s %6s %12s %12s %12s %12s\n", "phase", "count", "p50 ms", "p95 ms", "p99 ms", "mean ms")
+		for _, p := range r.Phases {
+			fmt.Printf("%-8s %6d %12.3f %12.3f %12.3f %12.3f\n",
+				p.Phase, p.Count, p.P50Ms, p.P95Ms, p.P99Ms, p.MeanMs)
+		}
+	}
+	if r.QueueingOnsetMs >= 0 {
+		fmt.Printf("\nqueueing onset: admission wait exceeded 2x median for arrivals from %.3f ms\n",
+			r.QueueingOnsetMs)
+	} else {
+		fmt.Printf("\nqueueing onset: none (admission kept up with arrivals)\n")
+	}
+	if r.SwapOutBytes > 0 || r.SwapInBytes > 0 {
+		fmt.Printf("swap traffic: %d bytes out, %d bytes in\n", r.SwapOutBytes, r.SwapInBytes)
+	}
+	if len(r.Storms) == 0 {
+		fmt.Println("preemption storms: none")
+		return
+	}
+	fmt.Printf("preemption storms (densest first):\n")
+	for _, s := range r.Storms {
+		fmt.Printf("  %.3f–%.3f ms: %d preemptions across %d requests\n",
+			s.StartMs, s.EndMs, s.Preemptions, s.Requests)
+	}
+}

@@ -336,6 +336,42 @@ type TraceCollector = trace.Collector
 // (<=0 selects the default, 65536).
 func NewTraceCollector(capacity int) *TraceCollector { return trace.NewCollector(capacity) }
 
+// TraceEvent is one traced occurrence (see the trace package's Kind
+// constants for the event vocabulary).
+type TraceEvent = trace.Event
+
+// TracePhase classifies where a request's lifecycle time is spent; the
+// phase constants cover queue, prefill, decode and the preemption
+// phases stall / swapped.
+type TracePhase = trace.Phase
+
+// Lifecycle phases of PhaseBreakdown (exactly one is active at any
+// instant of a request's life).
+const (
+	PhaseQueue   = trace.PhaseQueue
+	PhasePrefill = trace.PhasePrefill
+	PhaseDecode  = trace.PhaseDecode
+	PhaseStall   = trace.PhaseStall
+	PhaseSwapped = trace.PhaseSwapped
+)
+
+// PhaseBreakdown attributes a request's end-to-end latency across
+// lifecycle phases; its buckets sum to completion minus arrival.
+type PhaseBreakdown = trace.PhaseBreakdown
+
+// TraceSpan is one node of a request's reconstructed span tree.
+type TraceSpan = trace.Span
+
+// TraceRequestSpans is the reconstructed lifecycle of one request: its
+// root span plus the phase-attributed latency breakdown.
+type TraceRequestSpans = trace.RequestSpans
+
+// BuildRequestSpans regroups a trace event stream into one span tree
+// per request (see trace.BuildRequestSpans).
+func BuildRequestSpans(events []TraceEvent) []*TraceRequestSpans {
+	return trace.BuildRequestSpans(events)
+}
+
 // Session is a per-request streaming handle over the serving engine:
 // Server.Open (or ClusterServer.Open) submits the request and returns
 // the handle; token progress streams through its OnToken callback while

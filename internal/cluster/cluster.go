@@ -374,8 +374,12 @@ func (c *Cluster) Stats() serving.DriverStats {
 		ds.Rejected = c.acc.m.Rejected
 	}
 	var genTok, doneTok float64
-	for _, e := range c.engines {
+	ds.PerInstance = make([]serving.InstanceStats, 0, len(c.engines))
+	for i, e := range c.engines {
 		es := e.Stats()
+		inst := es.PerInstance[0]
+		inst.Inst = i + 1 // retag with the fleet-wide instance number
+		ds.PerInstance = append(ds.PerInstance, inst)
 		ds.QueueDepth += es.QueueDepth
 		ds.Running += es.Running
 		ds.Swapped += es.Swapped

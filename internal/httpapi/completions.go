@@ -51,6 +51,13 @@ type simInfo struct {
 	Generated   int     `json:"generated,omitempty"`
 	FirstToken  bool    `json:"first_token,omitempty"`
 	Preemptions int     `json:"preemptions,omitempty"`
+	// Phase-attributed latency (final responses only): the buckets sum
+	// to e2e_ms.
+	QueueMs   float64 `json:"queue_ms,omitempty"`
+	PrefillMs float64 `json:"prefill_ms,omitempty"`
+	DecodeMs  float64 `json:"decode_ms,omitempty"`
+	StallMs   float64 `json:"stall_ms,omitempty"`
+	SwappedMs float64 `json:"swapped_ms,omitempty"`
 }
 
 // completionResponse is one (non-streamed) completion, or one SSE chunk.
@@ -192,6 +199,11 @@ func (g *Gateway) completeBlocking(w http.ResponseWriter, r *http.Request, wr wo
 			E2EMs:       (cp.DoneUs - cp.Req.ArrivalUs) / 1e3,
 			Generated:   cp.Req.GenLen,
 			Preemptions: cp.Preemptions,
+			QueueMs:     cp.Phases.QueueUs / 1e3,
+			PrefillMs:   cp.Phases.PrefillUs / 1e3,
+			DecodeMs:    cp.Phases.DecodeUs / 1e3,
+			StallMs:     cp.Phases.StallUs / 1e3,
+			SwappedMs:   cp.Phases.SwappedUs / 1e3,
 		},
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -282,6 +294,11 @@ func (g *Gateway) completeSSE(w http.ResponseWriter, r *http.Request, wr workloa
 					E2EMs:       (cp.DoneUs - cp.Req.ArrivalUs) / 1e3,
 					Generated:   cp.Req.GenLen,
 					Preemptions: cp.Preemptions,
+					QueueMs:     cp.Phases.QueueUs / 1e3,
+					PrefillMs:   cp.Phases.PrefillUs / 1e3,
+					DecodeMs:    cp.Phases.DecodeUs / 1e3,
+					StallMs:     cp.Phases.StallUs / 1e3,
+					SwappedMs:   cp.Phases.SwappedUs / 1e3,
 				},
 			}
 			data, _ := json.Marshal(final)

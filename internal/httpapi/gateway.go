@@ -19,6 +19,7 @@ import (
 
 	"diffkv/internal/cluster"
 	"diffkv/internal/serving"
+	"diffkv/internal/trace"
 )
 
 // Config parameterizes a Gateway.
@@ -43,6 +44,10 @@ type Config struct {
 	// admission control sheds a request or the loop is draining
 	// (default 1s, rounded up to whole seconds).
 	RetryAfter time.Duration
+	// Trace, when non-nil, is the collector the serving stack emits into;
+	// it enables the /debug routes (per-request span trees, Perfetto
+	// trace download, live event tail) and the trace health metrics.
+	Trace *trace.Collector
 }
 
 // Gateway is the HTTP front-end. Construct with New, mount Handler.
@@ -80,6 +85,11 @@ func (g *Gateway) Handler() http.Handler {
 	mux.HandleFunc("/v1/completions", g.handleCompletions)
 	mux.HandleFunc("/healthz", g.handleHealthz)
 	mux.HandleFunc("/metrics", g.handleMetrics)
+	if g.cfg.Trace != nil {
+		mux.HandleFunc("/debug/requests/", g.handleDebugRequest)
+		mux.HandleFunc("/debug/trace", g.handleDebugTrace)
+		mux.HandleFunc("/debug/events", g.handleDebugEvents)
+	}
 	return mux
 }
 

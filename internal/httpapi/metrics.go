@@ -23,6 +23,15 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	gauge := func(name, help string, v float64) { metric(name, help, "gauge", v) }
 	counter := func(name, help string, v float64) { metric(name, help, "counter", v) }
+	// instGauge writes one family as an unlabeled fleet total plus one
+	// {inst="N"} series per serving instance (HELP/TYPE once).
+	instGauge := func(name, help string, total float64, per func(serving.InstanceStats) float64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+		fmt.Fprintf(&b, "%s %g\n", name, total)
+		for _, is := range m.Driver.PerInstance {
+			fmt.Fprintf(&b, "%s{inst=\"%d\"} %g\n", name, is.Inst, per(is))
+		}
+	}
 	summary := func(name, help string, s serving.LatencyStats, count int) {
 		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s summary\n", name, help, name)
 		fmt.Fprintf(&b, "%s{quantile=\"0.5\"} %g\n", name, s.P50)
@@ -44,11 +53,16 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("diffkv_preemptions_total", "Preemption events (recompute and swap recoveries).", float64(d.Preemptions))
 	gauge("diffkv_instances", "Serving engine instances behind this gateway.", float64(d.Instances))
 	gauge("diffkv_sessions_open", "Sessions currently in flight.", float64(d.OpenSessions))
-	gauge("diffkv_queue_depth", "Requests awaiting admission, summed over instances.", float64(d.QueueDepth))
-	gauge("diffkv_running_requests", "Admitted, in-flight requests.", float64(d.Running))
-	gauge("diffkv_swapped_requests", "Sequences swapped out to the host tier.", float64(d.Swapped))
-	gauge("diffkv_kv_pages_free", "Free KV cache pages, summed over manager-mode instances.", float64(d.FreeKVPages))
-	gauge("diffkv_kv_pages_used", "Used KV cache pages, summed over manager-mode instances.", float64(d.UsedKVPages))
+	instGauge("diffkv_queue_depth", "Requests awaiting admission (unlabeled: fleet total; inst label: per instance).",
+		float64(d.QueueDepth), func(is serving.InstanceStats) float64 { return float64(is.QueueDepth) })
+	instGauge("diffkv_running_requests", "Admitted, in-flight requests (unlabeled: fleet total; inst label: per instance).",
+		float64(d.Running), func(is serving.InstanceStats) float64 { return float64(is.Running) })
+	instGauge("diffkv_swapped_requests", "Sequences swapped out to the host tier (unlabeled: fleet total; inst label: per instance).",
+		float64(d.Swapped), func(is serving.InstanceStats) float64 { return float64(is.Swapped) })
+	instGauge("diffkv_kv_pages_free", "Free KV cache pages in manager mode (unlabeled: fleet total; inst label: per instance).",
+		float64(d.FreeKVPages), func(is serving.InstanceStats) float64 { return float64(is.FreeKVPages) })
+	instGauge("diffkv_kv_pages_used", "Used KV cache pages in manager mode (unlabeled: fleet total; inst label: per instance).",
+		float64(d.UsedKVPages), func(is serving.InstanceStats) float64 { return float64(is.UsedKVPages) })
 	counter("diffkv_swap_out_bytes_total", "Bytes swapped out to the host tier.", float64(d.SwapOutBytes))
 	counter("diffkv_swap_in_bytes_total", "Bytes swapped back in from the host tier.", float64(d.SwapInBytes))
 	counter("diffkv_host_prefix_hits_total", "Prefix-cache entries served back from host memory.", float64(d.HostPrefixHits))
@@ -57,6 +71,15 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	summary("diffkv_ttft_seconds", "Time to first token (simulated seconds).", m.TTFT, m.Completed)
 	summary("diffkv_tpot_seconds", "Time per output token after the first (simulated seconds).", m.TPOT, m.Completed)
 	summary("diffkv_e2e_seconds", "Arrival-to-completion latency (simulated seconds).", m.E2E, m.Completed)
+	summary("diffkv_phase_queue_seconds", "Per-completion time spent queued before admission (simulated seconds).", m.Phases.Queue, m.Completed)
+	summary("diffkv_phase_prefill_seconds", "Per-completion time spent in the prompt phase (simulated seconds).", m.Phases.Prefill, m.Completed)
+	summary("diffkv_phase_decode_seconds", "Per-completion time spent generating tokens (simulated seconds).", m.Phases.Decode, m.Completed)
+	summary("diffkv_phase_stall_seconds", "Per-completion time lost to recompute preemptions, over preempted completions only (simulated seconds).", m.Phases.Stall, m.Phases.StallCount)
+	summary("diffkv_phase_swapped_seconds", "Per-completion time spent swapped out to the host tier, over swapped completions only (simulated seconds).", m.Phases.Swapped, m.Phases.SwappedCount)
+	if g.cfg.Trace != nil {
+		gauge("diffkv_trace_events_retained", "Trace events currently held in the collector ring.", float64(g.cfg.Trace.Retained()))
+		counter("diffkv_trace_dropped_total", "Trace events evicted by the collector ring.", float64(g.cfg.Trace.Dropped()))
+	}
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.Write([]byte(b.String()))

@@ -183,6 +183,12 @@ type Completion struct {
 	// recompute re-admission or a swap-in — so TTFT/TPOT under preemption
 	// are honestly attributable (nil when never preempted).
 	RetryUs []float64
+	// Phases attributes the request's end-to-end latency
+	// (DoneUs - Req.ArrivalUs) across lifecycle phases — queue, prefill,
+	// decode, and the preemption phases stall/swapped. The buckets are
+	// maintained at every scheduler transition, so they sum to the
+	// end-to-end latency exactly.
+	Phases trace.PhaseBreakdown
 }
 
 type seqState struct {
@@ -193,6 +199,7 @@ type seqState struct {
 	winFill    int
 	cached     int     // prompt tokens served from the prefix cache
 	firstTokUs float64 // clock when the prompt phase completed
+	swapBytes  int64   // D2H bytes of the latest swap-out (trace payload)
 }
 
 // prefixEntry tracks one resident shared-prefix group.
@@ -237,6 +244,7 @@ type Engine struct {
 	xferUs       gpusim.Micros // total PCIe transfer time, pre-overlap
 	preemptN     map[int]int
 	retryUs      map[int][]float64
+	phase        map[int]*phaseAcc // per in-flight request lifecycle phase
 
 	// session state (Open / DrainContext): per-request handles with token
 	// callbacks and cancellation (see session.go)
@@ -350,8 +358,53 @@ func (e *Engine) emit(ev trace.Event) {
 // maxTotalSteps bounds a drain loop against runaway simulations.
 const maxTotalSteps = 20_000_000
 
+// phaseAcc tracks one in-flight request's current lifecycle phase so its
+// end-to-end latency is attributed exactly (Completion.Phases): every
+// scheduler transition folds the elapsed interval into the bucket of the
+// phase being left.
+type phaseAcc struct {
+	cur     trace.Phase
+	sinceUs float64
+	bd      trace.PhaseBreakdown
+}
+
+// phaseStart opens a request's phase accounting at arrival (queueing).
+func (e *Engine) phaseStart(id int, arrivalUs float64) {
+	if e.phase == nil {
+		e.phase = make(map[int]*phaseAcc)
+	}
+	e.phase[id] = &phaseAcc{cur: trace.PhaseQueue, sinceUs: arrivalUs}
+}
+
+// phaseTo folds the elapsed interval into the current phase's bucket and
+// enters ph at the engine clock.
+func (e *Engine) phaseTo(id int, ph trace.Phase) {
+	pa := e.phase[id]
+	if pa == nil {
+		return
+	}
+	now := float64(e.clock)
+	pa.bd.Add(pa.cur, now-pa.sinceUs)
+	pa.cur, pa.sinceUs = ph, now
+}
+
+// phaseClose finalizes a request's breakdown at the engine clock and
+// frees its accounting entry.
+func (e *Engine) phaseClose(id int) trace.PhaseBreakdown {
+	pa := e.phase[id]
+	if pa == nil {
+		return trace.PhaseBreakdown{}
+	}
+	pa.bd.Add(pa.cur, float64(e.clock)-pa.sinceUs)
+	delete(e.phase, id)
+	return pa.bd
+}
+
 // Submit queues a request for admission at its arrival time. The pending
-// queue is kept sorted by arrival so Step admits in time order.
+// queue is kept sorted by arrival so Step admits in time order. Submit
+// is the accept point of a request's lifecycle: its phase accounting
+// opens here (queueing from arrival) and the open trace event is
+// emitted.
 func (e *Engine) Submit(r workload.Request) {
 	i := sort.Search(len(e.pending), func(i int) bool {
 		return e.pending[i].ArrivalUs > r.ArrivalUs
@@ -359,6 +412,8 @@ func (e *Engine) Submit(r workload.Request) {
 	e.pending = append(e.pending, workload.Request{})
 	copy(e.pending[i+1:], e.pending[i:])
 	e.pending[i] = r
+	e.phaseStart(r.ID, r.ArrivalUs)
+	e.emit(trace.Event{Kind: trace.KindOpen, TimeUs: r.ArrivalUs, Seq: r.ID})
 }
 
 // HasWork reports whether any requests are queued, in flight or swapped
@@ -479,7 +534,9 @@ func (e *Engine) admit() error {
 		e.xferUs += xfer
 		e.running = append(e.running, st)
 		e.noteRetry(st.req.ID)
-		e.emit(trace.Event{Kind: trace.KindSwapIn, TimeUs: float64(e.clock), Seq: st.req.ID})
+		e.phaseTo(st.req.ID, trace.PhaseDecode)
+		e.emit(trace.Event{Kind: trace.KindSwapIn, TimeUs: float64(e.clock), Seq: st.req.ID,
+			Bytes: res.Bytes, DurUs: float64(xfer)})
 	}
 	for len(e.pending) > 0 && float64(e.clock) >= e.pending[0].ArrivalUs {
 		r := e.pending[0]
@@ -504,7 +561,8 @@ func (e *Engine) admit() error {
 					xfer := e.dev.PCIeTransfer(float64(bytes))
 					e.pendingXfer += xfer
 					e.xferUs += xfer
-					e.emit(trace.Event{Kind: trace.KindHostPrefixHit, TimeUs: float64(e.clock), Seq: r.ID})
+					e.emit(trace.Event{Kind: trace.KindHostPrefixHit, TimeUs: float64(e.clock), Seq: r.ID,
+						Bytes: bytes, DurUs: float64(xfer)})
 					ok = true
 				}
 			}
@@ -533,6 +591,7 @@ func (e *Engine) admit() error {
 		if e.preemptN[r.ID] > 0 {
 			e.noteRetry(r.ID)
 		}
+		e.phaseTo(r.ID, trace.PhasePrefill)
 		e.emit(trace.Event{Kind: trace.KindAdmit, TimeUs: float64(e.clock), Seq: st.req.ID})
 	}
 	return nil
@@ -696,6 +755,8 @@ func (e *Engine) step() ([]Completion, error) {
 	for _, st := range promptSeqs {
 		if st.promptDone && st.firstTokUs == 0 {
 			st.firstTokUs = float64(e.clock)
+			e.phaseTo(st.req.ID, trace.PhaseDecode)
+			e.emit(trace.Event{Kind: trace.KindFirstToken, TimeUs: float64(e.clock), Seq: st.req.ID})
 			e.touchPrefix(st)
 			e.notifyFirstToken(st)
 		}
@@ -730,6 +791,7 @@ func (e *Engine) step() ([]Completion, error) {
 				FirstTokenUs:       st.firstTokUs,
 				DoneUs:             float64(e.clock),
 				CachedPrefixTokens: st.cached,
+				Phases:             e.phaseClose(st.req.ID),
 			}
 			if n := e.preemptN[st.req.ID]; n > 0 {
 				cp.Preemptions = n
@@ -765,13 +827,16 @@ func (e *Engine) recordPreemptions(preempted, swapped []*seqState) {
 		drop[st] = true
 		requeued = append(requeued, st.req)
 		e.notePreempt(st.req.ID)
+		e.phaseTo(st.req.ID, trace.PhaseStall)
 		e.emit(trace.Event{Kind: trace.KindPreempt, TimeUs: float64(e.clock), Seq: st.req.ID})
 	}
 	for _, st := range swapped {
 		drop[st] = true
 		e.swappedQ = append(e.swappedQ, st)
 		e.notePreempt(st.req.ID)
-		e.emit(trace.Event{Kind: trace.KindSwapOut, TimeUs: float64(e.clock), Seq: st.req.ID})
+		e.phaseTo(st.req.ID, trace.PhaseSwapped)
+		e.emit(trace.Event{Kind: trace.KindSwapOut, TimeUs: float64(e.clock), Seq: st.req.ID,
+			Bytes: st.swapBytes, DurUs: float64(e.dev.PCIeTransfer(float64(st.swapBytes)))})
 	}
 	var kept []*seqState
 	for _, st := range e.running {
@@ -1117,6 +1182,7 @@ func (e *Engine) genStep(seqs []*seqState) (StepBreakdown, []*seqState, []*seqSt
 						}
 					}
 					swapXferBytes += float64(res.Bytes)
+					victim.swapBytes = res.Bytes
 					swapped = append(swapped, victim)
 					recovered = true
 				}

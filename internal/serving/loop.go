@@ -72,6 +72,22 @@ type DriverStats struct {
 	SwapOutBytes   int64
 	SwapInBytes    int64
 	HostPrefixHits int
+	// PerInstance breaks the load gauges down per serving instance (one
+	// entry for an engine, N for a cluster) so a scrape can tell a hot
+	// instance from a balanced fleet.
+	PerInstance []InstanceStats
+}
+
+// InstanceStats is one serving instance's share of the load gauges.
+type InstanceStats struct {
+	// Inst is the 1-based instance tag (matching trace.Event.Inst in
+	// cluster runs).
+	Inst        int
+	QueueDepth  int
+	Running     int
+	Swapped     int
+	FreeKVPages int
+	UsedKVPages int
 }
 
 // LoopConfig parameterizes a Loop.
@@ -153,8 +169,24 @@ type LoopMetrics struct {
 	// TTFT / TPOT / E2E are per-completion latency distributions in
 	// seconds (TPOT per output token after the first).
 	TTFT, TPOT, E2E LatencyStats
+	// Phases breaks completed requests' end-to-end latency down by
+	// lifecycle phase (Completion.Phases aggregated across completions).
+	Phases PhaseLatencyStats
 	// Driver is the wrapped driver's counter snapshot.
 	Driver DriverStats
+}
+
+// PhaseLatencyStats aggregates the per-completion phase breakdowns into
+// one latency distribution per lifecycle phase, in seconds. Queue /
+// Prefill / Decode cover every completion; Stall / Swapped cover only
+// completions that were preempted into those phases (the counts say how
+// many), so their quantiles are not diluted by the zero time of
+// never-preempted requests.
+type PhaseLatencyStats struct {
+	Queue, Prefill, Decode LatencyStats
+	Stall, Swapped         LatencyStats
+	StallCount             int
+	SwappedCount           int
 }
 
 // Loop is the always-on driver of the serving API: it owns a Driver (an
@@ -182,6 +214,11 @@ type Loop struct {
 	ttft      latencyAcc
 	tpot      latencyAcc
 	e2e       latencyAcc
+	phQueue   latencyAcc
+	phPrefill latencyAcc
+	phDecode  latencyAcc
+	phStall   latencyAcc
+	phSwapped latencyAcc
 
 	start time.Time
 	// paceOrigin anchors TimeScale pacing: simulated time 0 maps to this
@@ -303,7 +340,16 @@ func (l *Loop) Metrics() LoopMetrics {
 		TTFT:          l.ttft.stats(),
 		TPOT:          l.tpot.stats(),
 		E2E:           l.e2e.stats(),
-		Driver:        l.d.Stats(),
+		Phases: PhaseLatencyStats{
+			Queue:        l.phQueue.stats(),
+			Prefill:      l.phPrefill.stats(),
+			Decode:       l.phDecode.stats(),
+			Stall:        l.phStall.stats(),
+			Swapped:      l.phSwapped.stats(),
+			StallCount:   l.phStall.count,
+			SwappedCount: l.phSwapped.count,
+		},
+		Driver: l.d.Stats(),
 	}
 	m.SimSeconds = m.Driver.ClockUs / 1e6
 	return m
@@ -384,6 +430,17 @@ func (l *Loop) record(comps []Completion) {
 			l.tpot.add((cp.DoneUs - cp.FirstTokenUs) / 1e6 / float64(cp.Req.GenLen))
 		}
 		l.e2e.add((cp.DoneUs - cp.Req.ArrivalUs) / 1e6)
+		l.phQueue.add(cp.Phases.QueueUs / 1e6)
+		l.phPrefill.add(cp.Phases.PrefillUs / 1e6)
+		l.phDecode.add(cp.Phases.DecodeUs / 1e6)
+		// preemption phases only for requests that hit them, so the
+		// distributions are not diluted by zeros
+		if cp.Phases.StallUs > 0 {
+			l.phStall.add(cp.Phases.StallUs / 1e6)
+		}
+		if cp.Phases.SwappedUs > 0 {
+			l.phSwapped.add(cp.Phases.SwappedUs / 1e6)
+		}
 	}
 }
 
@@ -428,5 +485,13 @@ func (e *Engine) Stats() DriverStats {
 		ds.FreeKVPages = e.mgr.FreePages()
 		ds.UsedKVPages = e.mgr.UsedPages()
 	}
+	ds.PerInstance = []InstanceStats{{
+		Inst:        1,
+		QueueDepth:  ds.QueueDepth,
+		Running:     ds.Running,
+		Swapped:     ds.Swapped,
+		FreeKVPages: ds.FreeKVPages,
+		UsedKVPages: ds.UsedKVPages,
+	}}
 	return ds
 }

@@ -132,8 +132,7 @@ func (e *Engine) Open(ctx context.Context, r workload.Request) (*Session, error)
 	}
 	s := &Session{eng: e, ctx: ctx, req: r, done: make(chan struct{})}
 	e.sessions[r.ID] = s
-	e.Submit(r)
-	e.emit(trace.Event{Kind: trace.KindOpen, TimeUs: r.ArrivalUs, Seq: r.ID})
+	e.Submit(r) // Submit emits the open trace event
 	return s, nil
 }
 
@@ -207,6 +206,7 @@ func (e *Engine) finalizeCancel(s *Session) {
 	}
 	delete(e.preemptN, id)
 	delete(e.retryUs, id)
+	delete(e.phase, id)
 	delete(e.sessions, id)
 	e.cancelledN++
 	e.emit(trace.Event{Kind: trace.KindCancel, TimeUs: float64(e.clock), Seq: id})

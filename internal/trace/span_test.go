@@ -1,0 +1,170 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// preemptLifecycle is a request that survives a swap preemption:
+// open → admit → first token → swap out → swap in → complete.
+func preemptLifecycle() []Event {
+	return []Event{
+		{Kind: KindOpen, TimeUs: 0, Seq: 1},
+		{Kind: KindAdmit, TimeUs: 100, Seq: 1},
+		{Kind: KindFirstToken, TimeUs: 400, Seq: 1},
+		{Kind: KindGenStep, TimeUs: 500, Batch: 2, DurUs: 100},
+		{Kind: KindSwapOut, TimeUs: 900, Seq: 1, Bytes: 4096, DurUs: 50},
+		{Kind: KindSwapIn, TimeUs: 1500, Seq: 1, Bytes: 4096, DurUs: 50},
+		{Kind: KindComplete, TimeUs: 2100, Seq: 1},
+	}
+}
+
+// The golden span tree of a preempt→swap-out→swap-in→complete
+// lifecycle: phase children in time order, transfer sub-spans carrying
+// the byte counts, and a breakdown that sums to end-to-end exactly.
+func TestBuildRequestSpansGolden(t *testing.T) {
+	trees := BuildRequestSpans(preemptLifecycle())
+	if len(trees) != 1 {
+		t.Fatalf("trees = %d, want 1", len(trees))
+	}
+	rt := trees[0]
+	if rt.Seq != 1 || !rt.Completed || rt.Cancelled {
+		t.Fatalf("request state wrong: %+v", rt)
+	}
+	if rt.Preemptions != 1 {
+		t.Fatalf("preemptions = %d, want 1", rt.Preemptions)
+	}
+	if rt.StartUs != 0 || rt.EndUs != 2100 {
+		t.Fatalf("bounds [%g, %g], want [0, 2100]", rt.StartUs, rt.EndUs)
+	}
+
+	want := []Span{
+		{Name: "queue", StartUs: 0, EndUs: 100},
+		{Name: "prefill", StartUs: 100, EndUs: 400},
+		{Name: "decode", StartUs: 400, EndUs: 900},
+		{Name: SpanXferD2H, StartUs: 900, EndUs: 950, Bytes: 4096},
+		{Name: "swapped", StartUs: 900, EndUs: 1500},
+		{Name: SpanXferH2D, StartUs: 1500, EndUs: 1550, Bytes: 4096},
+		{Name: "decode", StartUs: 1500, EndUs: 2100},
+	}
+	if len(rt.Root.Children) != len(want) {
+		t.Fatalf("children = %d, want %d: %+v", len(rt.Root.Children), len(want), rt.Root.Children)
+	}
+	// xfer spans are appended after the phase transition they ride on, so
+	// compare as a set keyed by (name, start)
+	got := map[[2]interface{}]Span{}
+	for _, sp := range rt.Root.Children {
+		got[[2]interface{}{sp.Name, sp.StartUs}] = Span{
+			Name: sp.Name, StartUs: sp.StartUs, EndUs: sp.EndUs, Bytes: sp.Bytes}
+	}
+	for _, w := range want {
+		g, ok := got[[2]interface{}{w.Name, w.StartUs}]
+		if !ok {
+			t.Fatalf("missing span %+v in %+v", w, rt.Root.Children)
+		}
+		if !reflect.DeepEqual(g, w) {
+			t.Fatalf("span %s@%g = %+v, want %+v", w.Name, w.StartUs, g, w)
+		}
+	}
+
+	wantBd := PhaseBreakdown{QueueUs: 100, PrefillUs: 300, DecodeUs: 1100, SwappedUs: 600}
+	if rt.Phases != wantBd {
+		t.Fatalf("phases = %+v, want %+v", rt.Phases, wantBd)
+	}
+	if math.Abs(rt.Phases.TotalUs()-rt.E2EUs()) > 1e-9 {
+		t.Fatalf("phase sum %g != e2e %g", rt.Phases.TotalUs(), rt.E2EUs())
+	}
+}
+
+// A recompute preemption routes through the stall phase instead.
+func TestBuildRequestSpansRecomputeStall(t *testing.T) {
+	events := []Event{
+		{Kind: KindOpen, TimeUs: 0, Seq: 3},
+		{Kind: KindAdmit, TimeUs: 50, Seq: 3},
+		{Kind: KindFirstToken, TimeUs: 200, Seq: 3},
+		{Kind: KindPreempt, TimeUs: 300, Seq: 3},
+		{Kind: KindAdmit, TimeUs: 700, Seq: 3}, // re-admission restarts prefill
+		{Kind: KindFirstToken, TimeUs: 900, Seq: 3},
+		{Kind: KindComplete, TimeUs: 1000, Seq: 3},
+	}
+	rt := FindRequestSpans(BuildRequestSpans(events), 3)
+	if rt == nil {
+		t.Fatal("request 3 missing")
+	}
+	want := PhaseBreakdown{QueueUs: 50, PrefillUs: 150 + 200, DecodeUs: 100 + 100, StallUs: 400}
+	if rt.Phases != want {
+		t.Fatalf("phases = %+v, want %+v", rt.Phases, want)
+	}
+	if math.Abs(rt.Phases.TotalUs()-rt.E2EUs()) > 1e-9 {
+		t.Fatalf("phase sum %g != e2e %g", rt.Phases.TotalUs(), rt.E2EUs())
+	}
+}
+
+// Requests on different instances with the same Seq stay separate, and
+// in-flight requests get open-ended trees truncated at their last event.
+func TestBuildRequestSpansCrossInstance(t *testing.T) {
+	events := []Event{
+		{Kind: KindOpen, TimeUs: 0, Seq: 1, Inst: 1},
+		{Kind: KindOpen, TimeUs: 10, Seq: 1, Inst: 2},
+		{Kind: KindAdmit, TimeUs: 20, Seq: 1, Inst: 1},
+		{Kind: KindComplete, TimeUs: 500, Seq: 1, Inst: 1},
+	}
+	trees := BuildRequestSpans(events)
+	if len(trees) != 2 {
+		t.Fatalf("trees = %d, want 2", len(trees))
+	}
+	if !trees[0].Completed || trees[0].Inst != 1 {
+		t.Fatalf("inst 1 tree wrong: %+v", trees[0])
+	}
+	if trees[1].Completed || trees[1].Inst != 2 || trees[1].EndUs != 10 {
+		t.Fatalf("inst 2 tree wrong: %+v", trees[1])
+	}
+}
+
+// A Perfetto export must round-trip its raw events and contain the
+// async request slices and step slices the viewer renders.
+func TestPerfettoRoundTrip(t *testing.T) {
+	events := preemptLifecycle()
+	var buf bytes.Buffer
+	if err := WritePerfettoEvents(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`"traceEvents"`, `"ph":"b"`, `"ph":"e"`, `"ph":"X"`, `"diffkvEvents"`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("perfetto output lacks %s", want)
+		}
+	}
+	back, err := ReadEvents(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, events) {
+		t.Fatalf("round trip changed events:\n got %+v\nwant %+v", back, events)
+	}
+}
+
+// ReadEvents accepts plain JSONL too (WriteJSONL's output).
+func TestReadEventsJSONL(t *testing.T) {
+	c := NewCollector(10)
+	for _, e := range preemptLifecycle() {
+		c.Emit(e)
+	}
+	var buf bytes.Buffer
+	if err := c.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	events, err := ReadEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(events, preemptLifecycle()) {
+		t.Fatalf("jsonl round trip changed events: %+v", events)
+	}
+	if _, err := ReadEvents(strings.NewReader("not json\n")); err == nil {
+		t.Fatal("garbage input should error")
+	}
+}

@@ -37,10 +37,14 @@ const (
 	// KindCancel marks a session cancelled mid-flight: its KV pages and
 	// any host-tier state were freed without completing the request.
 	KindCancel Kind = "cancel"
-	// KindOpen marks a session accepted by Engine.Open — the network
-	// accept point of online serving, before admission (KindAdmit) ever
-	// runs. The gap between open and admit is queueing delay.
+	// KindOpen marks a request entering the pending queue (Engine.Submit
+	// / Engine.Open) — the accept point of serving, before admission
+	// (KindAdmit) ever runs. The gap between open and admit is queueing
+	// delay.
 	KindOpen Kind = "open"
+	// KindFirstToken marks the prompt phase finishing (the TTFT point):
+	// the request transitions from prefill to decode.
+	KindFirstToken Kind = "first_token"
 )
 
 // Event is one traced occurrence.
@@ -57,6 +61,10 @@ type Event struct {
 	// Inst is the 1-based serving-instance tag in cluster runs (0 for
 	// single-engine runs; see WithInstance).
 	Inst int `json:"inst,omitempty"`
+	// Bytes is the payload size of transfer-bearing events: swap_out /
+	// swap_in PCIe traffic and host_prefix_hit promotions. For those
+	// events DurUs carries the modeled transfer time before overlap.
+	Bytes int64 `json:"bytes,omitempty"`
 }
 
 // Tracer receives events. Implementations must be safe for concurrent use
@@ -68,12 +76,15 @@ type Tracer interface {
 
 // Collector is a bounded in-memory tracer: once capacity is reached the
 // oldest events are dropped (ring semantics) and the drop count recorded.
+// Live consumers can additionally Subscribe for a best-effort event tap.
 type Collector struct {
 	mu      sync.Mutex
 	events  []Event
 	start   int
 	dropped int
 	cap     int
+	subs    map[int]chan Event
+	subNext int
 }
 
 // NewCollector creates a collector holding at most capacity events
@@ -89,6 +100,12 @@ func NewCollector(capacity int) *Collector {
 func (c *Collector) Emit(e Event) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	for _, ch := range c.subs {
+		select {
+		case ch <- e:
+		default: // a slow subscriber loses events, never stalls the engine
+		}
+	}
 	if len(c.events) < c.cap {
 		c.events = append(c.events, e)
 		return
@@ -97,6 +114,34 @@ func (c *Collector) Emit(e Event) {
 	c.events[c.start] = e
 	c.start = (c.start + 1) % c.cap
 	c.dropped++
+}
+
+// Subscribe registers a live tap over subsequent emissions: events are
+// delivered to the returned channel (buffered to buf, default 256) on a
+// best-effort basis — when the subscriber falls behind, events are
+// skipped rather than blocking Emit. The cancel function unregisters the
+// tap and closes the channel; it must be called exactly once.
+func (c *Collector) Subscribe(buf int) (<-chan Event, func()) {
+	if buf <= 0 {
+		buf = 256
+	}
+	ch := make(chan Event, buf)
+	c.mu.Lock()
+	if c.subs == nil {
+		c.subs = make(map[int]chan Event)
+	}
+	id := c.subNext
+	c.subNext++
+	c.subs[id] = ch
+	c.mu.Unlock()
+	return ch, func() {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		if _, ok := c.subs[id]; ok {
+			delete(c.subs, id)
+			close(ch)
+		}
+	}
 }
 
 // Events returns the retained events in emission order.
@@ -116,6 +161,35 @@ func (c *Collector) Dropped() int {
 	return c.dropped
 }
 
+// Retained returns how many events the ring currently holds.
+func (c *Collector) Retained() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.events)
+}
+
+// InstSeq identifies a request by (instance, sequence): in cluster runs
+// every engine assigns auto IDs independently, so a bare Seq can collide
+// across instances and must not key per-request aggregates alone. It
+// marshals as "inst/seq" so it can key JSON maps.
+type InstSeq struct {
+	Inst int
+	Seq  int
+}
+
+// MarshalText implements encoding.TextMarshaler (JSON map keys).
+func (k InstSeq) MarshalText() ([]byte, error) {
+	return []byte(fmt.Sprintf("%d/%d", k.Inst, k.Seq)), nil
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (k *InstSeq) UnmarshalText(b []byte) error {
+	if _, err := fmt.Sscanf(string(b), "%d/%d", &k.Inst, &k.Seq); err != nil {
+		return fmt.Errorf("trace: bad InstSeq %q: %w", b, err)
+	}
+	return nil
+}
+
 // Summary aggregates the retained events.
 type Summary struct {
 	Counts map[Kind]int `json:"counts"`
@@ -123,9 +197,10 @@ type Summary struct {
 	StepTimeUs map[Kind]float64 `json:"step_time_us"`
 	// MaxBatch is the largest batch observed in step events.
 	MaxBatch int `json:"max_batch"`
-	// Preemptions per sequence ID (requests preempted more than once are
-	// scheduler red flags).
-	PreemptedSeqs map[int]int `json:"preempted_seqs,omitempty"`
+	// Preemptions per (instance, sequence) — swap-outs included; requests
+	// preempted more than once are scheduler red flags. Keyed on InstSeq
+	// because sequence IDs alone collide across cluster instances.
+	PreemptedSeqs map[InstSeq]int `json:"preempted_seqs,omitempty"`
 }
 
 // Summarize builds a Summary of the retained events.
@@ -133,7 +208,7 @@ func (c *Collector) Summarize() Summary {
 	s := Summary{
 		Counts:        map[Kind]int{},
 		StepTimeUs:    map[Kind]float64{},
-		PreemptedSeqs: map[int]int{},
+		PreemptedSeqs: map[InstSeq]int{},
 	}
 	for _, e := range c.Events() {
 		s.Counts[e.Kind]++
@@ -143,8 +218,8 @@ func (c *Collector) Summarize() Summary {
 			if e.Batch > s.MaxBatch {
 				s.MaxBatch = e.Batch
 			}
-		case KindPreempt:
-			s.PreemptedSeqs[e.Seq]++
+		case KindPreempt, KindSwapOut:
+			s.PreemptedSeqs[InstSeq{Inst: e.Inst, Seq: e.Seq}]++
 		}
 	}
 	return s

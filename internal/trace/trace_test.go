@@ -67,8 +67,80 @@ func TestSummarize(t *testing.T) {
 	if s.MaxBatch != 8 {
 		t.Fatalf("max batch = %d", s.MaxBatch)
 	}
-	if s.PreemptedSeqs[2] != 2 {
-		t.Fatalf("preemption count = %d", s.PreemptedSeqs[2])
+	if s.PreemptedSeqs[InstSeq{Seq: 2}] != 2 {
+		t.Fatalf("preemption count = %d", s.PreemptedSeqs[InstSeq{Seq: 2}])
+	}
+}
+
+// Equal sequence IDs on different instances must not collide in the
+// preemption aggregate (cluster engines assign auto IDs independently),
+// and swap-outs count as preemptions alongside recompute evictions.
+func TestSummarizePreemptionsKeyedPerInstance(t *testing.T) {
+	c := NewCollector(100)
+	c.Emit(Event{Kind: KindPreempt, Seq: 7, Inst: 1})
+	c.Emit(Event{Kind: KindPreempt, Seq: 7, Inst: 2})
+	c.Emit(Event{Kind: KindSwapOut, Seq: 7, Inst: 2})
+	s := c.Summarize()
+	if n := s.PreemptedSeqs[InstSeq{Inst: 1, Seq: 7}]; n != 1 {
+		t.Fatalf("inst 1 preemptions = %d, want 1", n)
+	}
+	if n := s.PreemptedSeqs[InstSeq{Inst: 2, Seq: 7}]; n != 2 {
+		t.Fatalf("inst 2 preemptions = %d, want 2 (preempt + swap_out)", n)
+	}
+	if len(s.PreemptedSeqs) != 2 {
+		t.Fatalf("preempted keys = %d, want 2: %+v", len(s.PreemptedSeqs), s.PreemptedSeqs)
+	}
+}
+
+// InstSeq must survive a JSON map-key round trip ("inst/seq" text form).
+func TestInstSeqJSONRoundTrip(t *testing.T) {
+	in := map[InstSeq]int{{Inst: 3, Seq: 41}: 2, {Seq: 5}: 1}
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"3/41"`) {
+		t.Fatalf("marshaled form %s lacks inst/seq key", data)
+	}
+	var out map[InstSeq]int
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out[InstSeq{Inst: 3, Seq: 41}] != 2 || out[InstSeq{Seq: 5}] != 1 {
+		t.Fatalf("round trip lost data: %+v", out)
+	}
+}
+
+func TestCollectorSubscribe(t *testing.T) {
+	c := NewCollector(10)
+	ch, cancel := c.Subscribe(4)
+	c.Emit(Event{Kind: KindAdmit, Seq: 1})
+	c.Emit(Event{Kind: KindComplete, Seq: 1})
+	if e := <-ch; e.Kind != KindAdmit {
+		t.Fatalf("first tapped event = %+v", e)
+	}
+	if e := <-ch; e.Kind != KindComplete {
+		t.Fatalf("second tapped event = %+v", e)
+	}
+	cancel()
+	if _, ok := <-ch; ok {
+		t.Fatal("channel should be closed after cancel")
+	}
+	// emissions after cancel must not panic or deliver
+	c.Emit(Event{Kind: KindAdmit, Seq: 2})
+	cancel() // idempotent
+}
+
+// A subscriber that never drains must not block Emit.
+func TestCollectorSubscribeSlowConsumer(t *testing.T) {
+	c := NewCollector(100)
+	_, cancel := c.Subscribe(2)
+	defer cancel()
+	for i := 0; i < 50; i++ {
+		c.Emit(Event{Kind: KindGenStep, TimeUs: float64(i)})
+	}
+	if got := c.Retained(); got != 50 {
+		t.Fatalf("retained = %d, want 50", got)
 	}
 }
 

@@ -88,6 +88,23 @@ type GatewaySpec struct {
 	DrainTimeoutSec float64 `json:"drain_timeout_sec,omitempty"`
 }
 
+// ObservabilitySpec turns on the trace pipeline for a scenario: the
+// serving stack emits lifecycle events into a bounded collector, from
+// which the gateway's /debug routes serve span trees and Perfetto
+// downloads and the trace CLI computes phase-attributed latency.
+type ObservabilitySpec struct {
+	// TraceEvents caps the collector ring (default 65536; the oldest
+	// events are dropped beyond it and counted in
+	// diffkv_trace_dropped_total).
+	TraceEvents int `json:"trace_events,omitempty"`
+	// PerfettoPath, when set, makes diffkv-gateway write the retained
+	// events as a Perfetto trace-event file there on shutdown.
+	PerfettoPath string `json:"perfetto_path,omitempty"`
+	// Debug mounts the gateway's /debug routes (per-request span trees,
+	// trace download, live event tail).
+	Debug bool `json:"debug,omitempty"`
+}
+
 // Scenario is one complete serving configuration. Zero values select the
 // documented defaults, so minimal specs stay minimal:
 //
@@ -132,7 +149,12 @@ type Scenario struct {
 	// gateway binary falls back to its flag defaults; the library Build
 	// path ignores it.
 	Gateway *GatewaySpec `json:"gateway,omitempty"`
-	Seed    uint64       `json:"seed,omitempty"`
+	// Observability enables request-lifecycle tracing: diffkv-gateway
+	// builds a collector sized by it, wires it as the Tracer, and serves
+	// the /debug routes when Debug is set. The library Build path leaves
+	// collector construction to the caller (set Tracer directly).
+	Observability *ObservabilitySpec `json:"observability,omitempty"`
+	Seed          uint64             `json:"seed,omitempty"`
 	// Tracer, when non-nil, receives the built stack's engine (and
 	// cluster) events. It is runtime-only state, not part of the spec.
 	Tracer Tracer `json:"-"`

@@ -45,6 +45,11 @@ var goldenScenario = Scenario{
 		DefaultMaxTokens: 256,
 		DrainTimeoutSec:  30,
 	},
+	Observability: &ObservabilitySpec{
+		TraceEvents:  32768,
+		PerfettoPath: "trace.json",
+		Debug:        true,
+	},
 	Seed: 42,
 }
 
@@ -118,6 +123,11 @@ func TestScenarioErrorFieldPaths(t *testing.T) {
 			`{"model": "Llama3-8B", "method": "vLLM",
 			  "workload": {"bench": "MATH", "rate_per_sec": "fast"}}`,
 			`"workload.rate_per_sec"`},
+		{"observability unknown",
+			`{"model": "Llama3-8B", "method": "vLLM",
+			  "workload": {"bench": "MATH"},
+			  "observability": {"debug": true, "trace_evnts": 100}}`,
+			`"observability.trace_evnts"`},
 	} {
 		_, err := ParseScenario([]byte(tc.spec))
 		if err == nil || !strings.Contains(err.Error(), tc.wantPath) {

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# bench_gate.sh — kernel perf regression gate for CI.
+#
+# Picks the most recent checked-in perf snapshot (BENCH_PR<N>.json with
+# the highest N) and runs `diffkv-bench -gate` against it: each kernel
+# micro-benchmark is re-measured (best of three) and the build fails if
+# any kernel is more than the tolerance slower than the snapshot after
+# normalizing out the suite-wide host-speed shift (shared CI hosts drift
+# uniformly run to run; the median now/base ratio cancels that).
+#
+# Usage: scripts/bench_gate.sh [tolerance]
+#   tolerance  fractional slowdown allowed per kernel (default 0.20)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+TOLERANCE="${1:-0.20}"
+
+baseline=$(ls BENCH_PR*.json 2>/dev/null | sort -V | tail -n 1)
+if [[ -z "${baseline}" ]]; then
+    echo "bench_gate: no BENCH_PR*.json snapshot found" >&2
+    exit 1
+fi
+
+echo "bench_gate: comparing kernels against ${baseline} (tolerance ${TOLERANCE})"
+go run ./cmd/diffkv-bench -gate "${baseline}" -gate-tolerance "${TOLERANCE}"

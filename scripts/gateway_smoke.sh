@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Gateway smoke test: boot diffkv-gateway from the checked-in scenario
-# spec, stream one completion over SSE, scrape /metrics for the serving
-# series, then shut down cleanly via SIGINT (graceful drain). Run from
-# the repository root; CI runs this after the unit tests.
+# spec, stream one completion over SSE, walk the /debug trace pipeline
+# (span tree, Perfetto download, offline diffkv-trace analysis), scrape
+# /metrics for the serving series, then shut down cleanly via SIGINT
+# (graceful drain). Run from the repository root; CI runs this after
+# the unit tests.
 set -euo pipefail
 
 ADDR="${GATEWAY_ADDR:-127.0.0.1:8178}"
@@ -30,12 +32,39 @@ echo "SSE chunks: $CHUNKS"
 printf '%s\n' "$OUT" | grep -q '^data: \[DONE\]'
 printf '%s\n' "$OUT" | grep -q '"finish_reason":"stop"'
 
+# a blocking completion whose id anchors the /debug span-tree lookup
+COMP="$(curl -fsS --max-time 60 \
+  -d '{"prompt": "trace walkthrough", "max_tokens": 8}' \
+  "http://$ADDR/v1/completions")"
+ID="$(printf '%s' "$COMP" | grep -o '"id":"cmpl-[0-9]*"' | cut -d'"' -f4)"
+echo "request id: $ID"
+[ -n "$ID" ]
+
+# the span tree must carry the phase breakdown for that request
+SPANS="$(curl -fsS "http://$ADDR/debug/requests/$ID")"
+printf '%s\n' "$SPANS" | grep -q '"phases"'
+printf '%s\n' "$SPANS" | grep -q '"completed":true'
+
+# /debug/trace downloads a Perfetto-loadable trace-event file
+curl -fsS "http://$ADDR/debug/trace" -o "$TMP/trace.json"
+grep -q '"traceEvents"' "$TMP/trace.json"
+
+# the offline analyzer rebuilds span trees from the download
+go build -o "$TMP/diffkv-trace" ./cmd/diffkv-trace
+"$TMP/diffkv-trace" "$TMP/trace.json" | tee "$TMP/trace_report.txt"
+grep -q 'completed' "$TMP/trace_report.txt"
+
 # the serving series an operator scrapes
 METRICS="$(curl -fsS "http://$ADDR/metrics")"
 printf '%s\n' "$METRICS" | grep 'diffkv_ttft_seconds{quantile="0.5"}'
 printf '%s\n' "$METRICS" | grep 'diffkv_tpot_seconds{quantile="0.95"}'
 printf '%s\n' "$METRICS" | grep 'diffkv_goodput_tokens_per_sec'
-printf '%s\n' "$METRICS" | grep -q '^diffkv_requests_completed_total 1'
+printf '%s\n' "$METRICS" | grep -q '^diffkv_requests_completed_total 2'
+# trace health and per-instance labeled gauges
+printf '%s\n' "$METRICS" | grep '^diffkv_trace_events_retained '
+printf '%s\n' "$METRICS" | grep '^diffkv_trace_dropped_total '
+printf '%s\n' "$METRICS" | grep 'diffkv_queue_depth{inst="1"}'
+printf '%s\n' "$METRICS" | grep 'diffkv_phase_decode_seconds{quantile="0.5"}'
 
 # clean shutdown: SIGINT drains and the process exits 0
 kill -INT "$PID"
