@@ -52,6 +52,25 @@ type OffloadGoodput struct {
 	PCIeStallMs      float64 `json:"pcie_stall_ms"`
 }
 
+// ChaosGoodput is one cell of the fault-injection record: a full-size
+// chaos-experiment run (3-instance oversubscribed DiffKV cluster, paced
+// MATH CoT arrivals) at one crash rate under one recovery policy. The
+// swap-vs-recompute goodput delta at each rate is the headline number:
+// positive means the host tier carried swapped sequences through
+// crash-with-restart instead of regenerating them.
+type ChaosGoodput struct {
+	CrashPerMin   float64 `json:"crash_per_min"`
+	Policy        string  `json:"policy"`
+	GoodputReqSec float64 `json:"goodput_req_per_sec"`
+	TTFTP99Sec    float64 `json:"ttft_p99_sec"`
+	Completed     int     `json:"completed"`
+	Failed        int     `json:"failed"`
+	Crashes       int     `json:"crashes"`
+	Redispatches  int     `json:"redispatches"`
+	SwapRecovered int     `json:"swap_recovered"`
+	LostKVMB      float64 `json:"lost_kv_mb"`
+}
+
 // ServingHotPathResult measures scheduler wall-clock cost: one
 // scenario-built serving run (Llama3-8B, MATH, 32 closed-loop requests,
 // 1024-token limit) timed end to end, reported as engine steps per
@@ -78,6 +97,10 @@ type PerfSnapshot struct {
 	// (compression moves fewer bytes than FP16).
 	Offload   []OffloadGoodput           `json:"offload"`
 	SwapBytes []experiments.SwapBytesRow `json:"swap_bytes"`
+	// Chaos records swap-vs-recompute goodput under crash injection at
+	// each crash rate (identical crash timelines per rate, so the delta
+	// between policy rows is attributable to the recovery path alone).
+	Chaos []ChaosGoodput `json:"chaos,omitempty"`
 	// ServingHotPath times the v2-API serving path (scenario build +
 	// Run): steps/sec must stay within noise of the pre-registry numbers.
 	ServingHotPath []ServingHotPathResult `json:"serving_hot_path"`
@@ -274,6 +297,25 @@ func writePerfJSON(path string, seed uint64, workers int) error {
 		}
 	}
 	snap.SwapBytes = experiments.OffloadSwapBytes()
+	// fault-injection goodput at every crash rate (full-size cells,
+	// matching `-exp chaos` without -fast)
+	for _, rate := range experiments.ChaosRates(false) {
+		for _, policy := range []string{offload.PolicyRecompute, offload.PolicySwap} {
+			m := experiments.ChaosRun(rate, policy, 36, seed)
+			snap.Chaos = append(snap.Chaos, ChaosGoodput{
+				CrashPerMin:   rate,
+				Policy:        policy,
+				GoodputReqSec: m.GoodputReqPerSec,
+				TTFTP99Sec:    m.TTFT.P99,
+				Completed:     m.Completed,
+				Failed:        m.Failed,
+				Crashes:       m.Crashes,
+				Redispatches:  m.Redispatches,
+				SwapRecovered: m.SwapRecovered,
+				LostKVMB:      float64(m.LostKVBytes) / (1 << 20),
+			})
+		}
+	}
 	hot, err := runServingHotPath(seed)
 	if err != nil {
 		return err

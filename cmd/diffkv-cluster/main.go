@@ -10,6 +10,7 @@
 //	diffkv-cluster -instances 4 -rate 10 -seconds 60
 //	diffkv-cluster -policy prefix-affinity -method DiffKV -trace events.jsonl
 //	diffkv-cluster -policy all -bench MMLU -groups 16 -prefixlen 768
+//	diffkv-cluster -chaos 2 -hostmem 4 -preempt swap     # fault injection
 //	diffkv-cluster -scenario scenario.json
 package main
 
@@ -48,6 +49,10 @@ func main() {
 		tpotSLO      = flag.Float64("tpot-slo", 0.1, "TPOT SLO (seconds/token) for goodput")
 		tracePath    = flag.String("trace", "", "write trace events as JSON lines to this file")
 		seed         = flag.Uint64("seed", 42, "random seed")
+		chaosRate    = flag.Float64("chaos", 0, "fault injection: random crashes per instance per minute (0 disables)")
+		chaosDown    = flag.Float64("chaos-down", 5, "mean crash downtime in seconds (with -chaos)")
+		pcieErr      = flag.Float64("pcie-err", 0, "fault injection: per-transfer PCIe host<->device error probability")
+		retryBudget  = flag.Int("retry-budget", 0, "re-dispatch retries per request after crashes (0 = default 3, negative = none)")
 	)
 	flag.Parse()
 
@@ -86,6 +91,15 @@ func main() {
 		if *groups > 0 {
 			base.Workload.Prefix = &diffkv.PrefixConfig{
 				Groups: *groups, PrefixLen: *prefixLen, SharedFrac: *sharedFrac,
+			}
+		}
+		if *chaosRate > 0 || *pcieErr > 0 {
+			base.Faults = &diffkv.FaultsSpec{
+				CrashRatePerMin: *chaosRate,
+				MeanDownSec:     *chaosDown,
+				HorizonSec:      *seconds, // chaos spans the arrival window
+				PCIeErrorRate:   *pcieErr,
+				RetryBudget:     *retryBudget,
 			}
 		}
 	}
@@ -158,6 +172,11 @@ func main() {
 				m.Preemptions, m.PreemptedRequests,
 				float64(m.SwapOutBytes)/(1<<20), float64(m.SwapInBytes)/(1<<20),
 				m.SwapStallSeconds*1e3, m.ThrashRate, m.HostPrefixHits)
+		}
+		if m.Crashes > 0 || m.Redispatches > 0 || m.Failed > 0 {
+			fmt.Printf("  faults: %d crashes / %d restarts | %d re-dispatched | %d failed | %d swap-recovered | %.1f MB KV lost\n",
+				m.Crashes, m.Restarts, m.Redispatches, m.Failed, m.SwapRecovered,
+				float64(m.LostKVBytes)/(1<<20))
 		}
 		if stuck := m.Stuck(); stuck != 0 {
 			fmt.Printf("  WARNING: %d dispatched requests never completed (liveness violation)\n", stuck)

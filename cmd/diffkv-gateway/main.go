@@ -10,6 +10,7 @@
 //
 //	diffkv-gateway -scenario scenario.json
 //	diffkv-gateway -model Llama3-8B -method DiffKV -listen 127.0.0.1:8080
+//	diffkv-gateway -chaos 2                # 2-instance cluster, random crashes
 //	curl -N -d '{"prompt":"hello","max_tokens":32,"stream":true}' \
 //	    http://127.0.0.1:8080/v1/completions
 package main
@@ -42,6 +43,9 @@ func main() {
 		seed         = flag.Uint64("seed", 42, "random seed (flag mode)")
 		debugFlag    = flag.Bool("debug", false, "enable request tracing and the /debug routes even without an observability spec")
 		perfettoOut  = flag.String("perfetto", "", "write the retained trace as a Perfetto file here on shutdown (overrides the scenario's observability.perfetto_path)")
+		instances    = flag.Int("instances", 0, "flag mode: serve an N-instance cluster instead of a single engine")
+		chaosRate    = flag.Float64("chaos", 0, "flag mode: inject random instance crashes at this rate per instance per minute (implies a 2-instance cluster)")
+		chaosDown    = flag.Float64("chaos-down", 5, "mean crash downtime in seconds (with -chaos)")
 	)
 	flag.Parse()
 
@@ -61,6 +65,19 @@ func main() {
 			// shapes the stack, so any benchmark satisfies validation
 			Workload: diffkv.WorkloadSpec{Bench: "MATH"},
 			Seed:     *seed,
+		}
+		if *instances > 0 {
+			sc.Cluster = &diffkv.ClusterSpec{Instances: *instances, Routing: diffkv.RouteLeastLoaded}
+		}
+		if *chaosRate > 0 {
+			// fault injection needs survivors to re-dispatch to
+			if sc.Cluster == nil {
+				sc.Cluster = &diffkv.ClusterSpec{Instances: 2, Routing: diffkv.RouteLeastLoaded}
+			}
+			sc.Faults = &diffkv.FaultsSpec{
+				CrashRatePerMin: *chaosRate,
+				MeanDownSec:     *chaosDown,
+			}
 		}
 	}
 	gw := diffkv.GatewaySpec{}
@@ -130,6 +147,9 @@ func main() {
 		shape = fmt.Sprintf("%d-instance cluster (%s routing)",
 			len(st.Cluster.Engines()), st.Cluster.Policy())
 	}
+	if sc.Faults != nil {
+		shape += " + fault injection"
+	}
 	log.Printf("diffkv-gateway: %s | %s | %s | listening on http://%s (timescale %g)",
 		st.Model.Name, sc.Method, shape, ln.Addr(), gw.TimeScale)
 
@@ -164,6 +184,10 @@ func main() {
 	m := loop.Metrics()
 	log.Printf("diffkv-gateway: done — %d opened, %d completed, %d cancelled, %d steps, %.1fs simulated",
 		m.Opened, m.Completed, m.Driver.Cancelled, m.Steps, m.SimSeconds)
+	if d := m.Driver; d.Crashes > 0 || d.Failed > 0 {
+		log.Printf("diffkv-gateway: faults — %d crashes, %d restarts, %d re-dispatched, %d failed, %d swap-recovered",
+			d.Crashes, d.Restarts, d.Redispatches, d.Failed, d.SwapRecovered)
+	}
 }
 
 // writePerfetto dumps the collector as a Perfetto trace-event file.

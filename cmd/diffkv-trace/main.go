@@ -116,13 +116,32 @@ type storm struct {
 	Requests    int     `json:"requests"`
 }
 
+// downWindow is one reconstructed instance outage or degradation
+// window from health events; EndMs is -1 when the instance never came
+// back within the trace.
+type downWindow struct {
+	Inst    int     `json:"inst"`
+	State   string  `json:"state"`
+	StartMs float64 `json:"start_ms"`
+	EndMs   float64 `json:"end_ms"`
+}
+
+// failReason tallies one terminal-failure reason.
+type failReason struct {
+	Reason string `json:"reason"`
+	Count  int    `json:"count"`
+}
+
 // report is the full analysis output.
 type report struct {
 	Events    int `json:"events"`
 	Requests  int `json:"requests"`
 	Completed int `json:"completed"`
 	Cancelled int `json:"cancelled"`
-	InFlight  int `json:"in_flight"`
+	// Failed counts requests terminally failed by fault injection
+	// (crash re-dispatch budget exhausted).
+	Failed   int `json:"failed,omitempty"`
+	InFlight int `json:"in_flight"`
 	// Phases has one distribution per lifecycle phase plus e2e.
 	Phases []phaseDist `json:"phases"`
 	// QueueingOnsetMs is the arrival time (ms) of the first request whose
@@ -135,6 +154,61 @@ type report struct {
 	// SwapOutBytes / SwapInBytes total the PCIe traffic of swap events.
 	SwapOutBytes int64 `json:"swap_out_bytes,omitempty"`
 	SwapInBytes  int64 `json:"swap_in_bytes,omitempty"`
+	// Fault-injection section (empty without health/retry/fail events).
+	// Downtime lists per-instance down and degraded windows in time
+	// order; CrashOrphans counts requests orphaned by crashes,
+	// Redispatches their re-dispatches to survivors, SwapRecovered the
+	// sequences the host tier carried through a crash, and FailReasons
+	// the terminal failures by reason.
+	Downtime      []downWindow `json:"downtime,omitempty"`
+	CrashOrphans  int          `json:"crash_orphans,omitempty"`
+	Redispatches  int          `json:"redispatches,omitempty"`
+	SwapRecovered int          `json:"swap_recovered,omitempty"`
+	FailReasons   []failReason `json:"fail_reasons,omitempty"`
+}
+
+// analyzeFaults reconstructs the fault-injection section: health
+// windows per instance, and the retry/recovery/failure event tallies.
+func analyzeFaults(rep *report, events []trace.Event) {
+	open := map[int]int{} // inst -> index of its unfinished window
+	reasons := map[string]int{}
+	for _, e := range events {
+		switch e.Kind {
+		case trace.KindHealth:
+			if idx, ok := open[e.Inst]; ok && rep.Downtime[idx].State != e.Note {
+				rep.Downtime[idx].EndMs = e.TimeUs / 1e3
+				delete(open, e.Inst)
+			}
+			if _, ok := open[e.Inst]; !ok && e.Note != "healthy" {
+				rep.Downtime = append(rep.Downtime, downWindow{
+					Inst: e.Inst, State: e.Note, StartMs: e.TimeUs / 1e3, EndMs: -1,
+				})
+				open[e.Inst] = len(rep.Downtime) - 1
+			}
+		case trace.KindRetry:
+			if e.Note == "crash" {
+				rep.CrashOrphans++
+			}
+		case trace.KindDispatch:
+			if e.Note == "redispatch" {
+				rep.Redispatches++
+			}
+		case trace.KindRecover:
+			rep.SwapRecovered++
+		case trace.KindFail:
+			reasons[e.Note]++
+		}
+	}
+	for reason, n := range reasons {
+		rep.FailReasons = append(rep.FailReasons, failReason{Reason: reason, Count: n})
+	}
+	sort.Slice(rep.FailReasons, func(i, j int) bool {
+		a, b := rep.FailReasons[i], rep.FailReasons[j]
+		if a.Count != b.Count {
+			return a.Count > b.Count
+		}
+		return a.Reason < b.Reason
+	})
 }
 
 // analyze computes the report: phase distributions over completed
@@ -151,6 +225,8 @@ func analyze(events []trace.Event, trees []*trace.RequestSpans, windowUs float64
 			rep.Completed++
 		case rt.Cancelled:
 			rep.Cancelled++
+		case rt.Failed:
+			rep.Failed++
 		default:
 			rep.InFlight++
 		}
@@ -253,13 +329,14 @@ func analyze(events []trace.Event, trees []*trace.RequestSpans, windowUs float64
 	sort.SliceStable(rep.Storms, func(i, j int) bool {
 		return rep.Storms[i].Preemptions > rep.Storms[j].Preemptions
 	})
+	analyzeFaults(&rep, events)
 	return rep
 }
 
 // print renders the report as text.
 func (r report) print() {
-	fmt.Printf("%d events, %d requests (%d completed, %d cancelled, %d in flight)\n",
-		r.Events, r.Requests, r.Completed, r.Cancelled, r.InFlight)
+	fmt.Printf("%d events, %d requests (%d completed, %d cancelled, %d failed, %d in flight)\n",
+		r.Events, r.Requests, r.Completed, r.Cancelled, r.Failed, r.InFlight)
 	if len(r.Phases) > 0 {
 		fmt.Printf("\n%-8s %6s %12s %12s %12s %12s\n", "phase", "count", "p50 ms", "p95 ms", "p99 ms", "mean ms")
 		for _, p := range r.Phases {
@@ -278,11 +355,29 @@ func (r report) print() {
 	}
 	if len(r.Storms) == 0 {
 		fmt.Println("preemption storms: none")
+	} else {
+		fmt.Printf("preemption storms (densest first):\n")
+		for _, s := range r.Storms {
+			fmt.Printf("  %.3f–%.3f ms: %d preemptions across %d requests\n",
+				s.StartMs, s.EndMs, s.Preemptions, s.Requests)
+		}
+	}
+	if len(r.Downtime) == 0 && r.CrashOrphans == 0 && len(r.FailReasons) == 0 {
 		return
 	}
-	fmt.Printf("preemption storms (densest first):\n")
-	for _, s := range r.Storms {
-		fmt.Printf("  %.3f–%.3f ms: %d preemptions across %d requests\n",
-			s.StartMs, s.EndMs, s.Preemptions, s.Requests)
+	fmt.Printf("\nfault injection:\n")
+	for _, w := range r.Downtime {
+		if w.EndMs < 0 {
+			fmt.Printf("  instance %d %s from %.3f ms (never recovered in trace)\n",
+				w.Inst, w.State, w.StartMs)
+			continue
+		}
+		fmt.Printf("  instance %d %s %.3f–%.3f ms (%.3f ms)\n",
+			w.Inst, w.State, w.StartMs, w.EndMs, w.EndMs-w.StartMs)
+	}
+	fmt.Printf("  %d crash orphans, %d re-dispatches, %d swap-recovered\n",
+		r.CrashOrphans, r.Redispatches, r.SwapRecovered)
+	for _, fr := range r.FailReasons {
+		fmt.Printf("  failed %d: %s\n", fr.Count, fr.Reason)
 	}
 }

@@ -31,6 +31,7 @@ import (
 	"diffkv/internal/cluster"
 	"diffkv/internal/core"
 	"diffkv/internal/experiments"
+	"diffkv/internal/faults"
 	"diffkv/internal/gpusim"
 	"diffkv/internal/offload"
 	"diffkv/internal/policy"
@@ -390,6 +391,38 @@ var ErrSessionCancelled = serving.ErrCancelled
 // ErrClusterSaturated is returned by ClusterServer.Open when admission
 // control sheds the request (every instance at the queue bound).
 var ErrClusterSaturated = cluster.ErrAllSaturated
+
+// ErrRequestFailed is the terminal error of a Session whose request was
+// lost to an instance crash and whose re-dispatch retry budget ran out
+// (fault injection only; see FaultPlan).
+var ErrRequestFailed = serving.ErrFailed
+
+// FaultPlan declares deterministic fault injection for a cluster run:
+// scheduled or rate-sampled instance crashes (with optional restarts),
+// transient slowdowns, a PCIe transfer error rate, and the re-dispatch
+// retry budget. Attach via ClusterServerConfig.Faults or a Scenario's
+// "faults" section; the same plan and seed always reproduce the same
+// timeline.
+type FaultPlan = faults.Plan
+
+// FaultCrash schedules one instance crash in a FaultPlan (1-based
+// instance; DownSec <= 0 makes it permanent).
+type FaultCrash = faults.Crash
+
+// FaultSlowdown schedules one transient degraded window in a FaultPlan:
+// the instance keeps serving with its step time multiplied by Factor.
+type FaultSlowdown = faults.Slowdown
+
+// InstanceHealthState is an instance's fault-injection health as
+// reported by cluster metrics and the gateway's /healthz.
+type InstanceHealthState = cluster.Health
+
+// Instance health states under fault injection.
+const (
+	InstanceHealthy  = cluster.Healthy
+	InstanceDegraded = cluster.Degraded
+	InstanceDown     = cluster.Down
+)
 
 // Loop is the always-on driver of the serving API: it owns a Server's
 // (or ClusterServer's) step cadence in a background goroutine, makes

@@ -17,6 +17,7 @@ import (
 	"math"
 	"sort"
 
+	"diffkv/internal/faults"
 	"diffkv/internal/gpusim"
 	"diffkv/internal/serving"
 	"diffkv/internal/trace"
@@ -58,6 +59,11 @@ type Config struct {
 	// 100 ms per output token).
 	TTFTSLOUs float64
 	TPOTSLOUs float64
+	// Faults is the fault-injection plan (nil or disabled = no faults).
+	// The cluster expands it into a deterministic crash / restart /
+	// slowdown timeline interleaved with the event loop, and wires its
+	// PCIe error rate into every instance's transfer path.
+	Faults *faults.Plan
 	// Tracer receives cluster dispatch/reject events plus every
 	// instance's engine events, tagged with 1-based instance IDs.
 	Tracer trace.Tracer
@@ -89,6 +95,18 @@ type Cluster struct {
 	acc         *accumulator
 	steps       int
 	autoID      int
+
+	// fault-injection state (faulttol.go); inj nil without a fault plan
+	inj           *faults.Injector
+	health        []Health
+	redispatchQ   []redispatch
+	perInstRedisp []int
+	failedN       int
+	redispatchN   int
+	crashes       int
+	restarts      int
+	swapRecovered int
+	lostKV        int64
 }
 
 // clusterAutoIDBase keeps cluster-assigned session request IDs clear of
@@ -110,9 +128,26 @@ func New(cfg Config) (*Cluster, error) {
 		return nil, err
 	}
 	c := &Cluster{cfg: cfg, policy: policy}
+	if cfg.Faults != nil && cfg.Faults.Enabled() {
+		inj, err := faults.New(*cfg.Faults, cfg.Instances)
+		if err != nil {
+			return nil, err
+		}
+		c.inj = inj
+		c.health = make([]Health, cfg.Instances)
+		for i := range c.health {
+			c.health[i] = Healthy
+		}
+		c.perInstRedisp = make([]int, cfg.Instances)
+	}
 	for i := 0; i < cfg.Instances; i++ {
 		ec := cfg.Engine
 		ec.Seed = cfg.Seed + uint64(i)*7919
+		if c.inj != nil && c.inj.Plan().PCIeErrorRate > 0 {
+			// one shared fault stream: draws happen in step order, which
+			// the single-threaded event loop keeps deterministic
+			ec.XferFault = c.inj.XferFault
+		}
 		if cfg.Tracer != nil {
 			ec.Tracer = trace.WithInstance(cfg.Tracer, i+1)
 		}
@@ -165,10 +200,14 @@ func (c *Cluster) Run(reqs []workload.Request) (Metrics, error) {
 	c.acc = newAccumulator(c.cfg, c.policy.Name(), len(reqs))
 
 	for c.steps < maxClusterSteps {
-		// earliest instance step (lowest index wins ties)
+		// earliest instance step among live instances (lowest index wins
+		// ties; down instances do not execute until their restart)
 		stepT := math.Inf(1)
 		pick := -1
 		for i, e := range c.engines {
+			if c.down(i) {
+				continue
+			}
 			if t, ok := e.NextTime(); ok && float64(t) < stepT {
 				stepT, pick = float64(t), i
 			}
@@ -177,26 +216,46 @@ func (c *Cluster) Run(reqs []workload.Request) (Metrics, error) {
 		if len(pending) > 0 {
 			arrT = pending[0].ArrivalUs
 		}
-		if pick == -1 && math.IsInf(arrT, 1) {
+		rdT := c.redispatchDue()
+		fT := c.faultDue()
+		if len(pending) > 0 && c.inj != nil {
+			// pending arrivals keep the fault timeline live even when the
+			// fleet is momentarily idle
+			if at, ok := c.inj.NextAt(); ok && at < fT {
+				fT = at
+			}
+		}
+		if pick == -1 && math.IsInf(arrT, 1) && math.IsInf(rdT, 1) && math.IsInf(fT, 1) {
 			break
 		}
-		// arrivals dispatch before instance steps at equal timestamps
-		if arrT <= stepT {
+		// at equal timestamps: faults fire first (a crash at an arrival's
+		// instant is visible to its routing), then re-dispatches, then
+		// arrivals, then instance steps
+		switch {
+		case fT <= rdT && fT <= arrT && fT <= stepT:
+			if err := c.processFault(); err != nil {
+				return c.finishMetrics(), err
+			}
+		case rdT <= arrT && rdT <= stepT:
+			if err := c.processRedispatch(); err != nil {
+				return c.finishMetrics(), err
+			}
+		case arrT <= stepT:
 			r := pending[0]
 			pending = pending[1:]
 			c.dispatch(r)
-			continue
-		}
-		c.steps++
-		comps, err := c.engines[pick].Step()
-		if err != nil {
-			return c.acc.finish(c.engines), fmt.Errorf("cluster: instance %d: %w", pick, err)
-		}
-		for _, cp := range comps {
-			c.acc.complete(pick, cp)
+		default:
+			c.steps++
+			comps, err := c.engines[pick].Step()
+			if err != nil {
+				return c.finishMetrics(), fmt.Errorf("cluster: instance %d: %w", pick, err)
+			}
+			for _, cp := range comps {
+				c.acc.complete(pick, cp)
+			}
 		}
 	}
-	return c.acc.finish(c.engines), nil
+	return c.finishMetrics(), nil
 }
 
 // dispatch routes one request: snapshot the fleet, filter saturated
@@ -219,6 +278,9 @@ func (c *Cluster) dispatch(r workload.Request) {
 func (c *Cluster) route(r workload.Request) (int, bool) {
 	snaps := make([]Snapshot, 0, len(c.engines))
 	for i, e := range c.engines {
+		if c.down(i) {
+			continue // crashed: unroutable until restart
+		}
 		s := Snapshot{
 			ID:             i,
 			QueueDepth:     e.QueueDepth(),
@@ -226,6 +288,7 @@ func (c *Cluster) route(r workload.Request) (int, bool) {
 			ResidentTokens: e.ResidentTokens(),
 			SwappedTokens:  e.SwappedTokens(),
 			ClockUs:        float64(e.Clock()),
+			Degraded:       c.health != nil && c.health[i] == Degraded,
 		}
 		if c.cfg.MaxQueueDepth > 0 && s.QueueDepth >= c.cfg.MaxQueueDepth {
 			continue // saturated: unroutable
@@ -263,6 +326,19 @@ func (c *Cluster) Open(ctx context.Context, r workload.Request) (*serving.Sessio
 		// collide across instances
 		c.autoID++
 		r.ID = clusterAutoIDBase + c.autoID
+	}
+	// bring instance health up to date before routing: a crash due by now
+	// must exclude its instance from this decision
+	if c.inj != nil {
+		t := r.ArrivalUs
+		for _, e := range c.engines {
+			if ct := float64(e.Clock()); ct > t {
+				t = ct
+			}
+		}
+		if err := c.advanceFaults(t); err != nil {
+			return nil, err
+		}
 	}
 	idx, ok := c.route(r)
 	if !ok {
@@ -315,9 +391,21 @@ func (c *Cluster) stepNext() ([]serving.Completion, bool, error) {
 	stepT := math.Inf(1)
 	pick := -1
 	for i, e := range c.engines {
+		if c.down(i) {
+			continue
+		}
 		if t, ok := e.NextTime(); ok && float64(t) < stepT {
 			stepT, pick = float64(t), i
 		}
+	}
+	// fault events and re-dispatch deadlines interleave with steps in
+	// timestamp order, faults first at ties
+	rdT := c.redispatchDue()
+	if fT := c.faultDue(); !math.IsInf(fT, 1) && fT <= rdT && fT <= stepT {
+		return nil, true, c.processFault()
+	}
+	if !math.IsInf(rdT, 1) && rdT <= stepT {
+		return nil, true, c.processRedispatch()
 	}
 	if pick == -1 {
 		return nil, false, nil
@@ -344,24 +432,32 @@ func (c *Cluster) ReapSessions() {
 }
 
 // HasWork reports whether any instance has queued, running or swapped
-// requests.
+// requests, or a crash orphan awaits re-dispatch.
 func (c *Cluster) HasWork() bool {
-	for _, e := range c.engines {
-		if e.HasWork() {
-			return true
-		}
+	if len(c.redispatchQ) > 0 {
+		return true
 	}
-	return false
+	return c.engineWork()
 }
 
-// NextTime returns the simulated time of the earliest next instance step,
-// and false when no instance has work.
+// NextTime returns the simulated time of the earliest next event — a
+// live instance's step, a re-dispatch deadline, or a due fault event —
+// and false when the cluster is idle.
 func (c *Cluster) NextTime() (gpusim.Micros, bool) {
 	best, ok := gpusim.Micros(0), false
-	for _, e := range c.engines {
+	for i, e := range c.engines {
+		if c.down(i) {
+			continue
+		}
 		if t, has := e.NextTime(); has && (!ok || t < best) {
 			best, ok = t, true
 		}
+	}
+	if rdT := c.redispatchDue(); !math.IsInf(rdT, 1) && (!ok || gpusim.Micros(rdT) < best) {
+		best, ok = gpusim.Micros(rdT), true
+	}
+	if fT := c.faultDue(); !math.IsInf(fT, 1) && (!ok || gpusim.Micros(fT) < best) {
+		best, ok = gpusim.Micros(fT), true
 	}
 	return best, ok
 }
@@ -369,7 +465,13 @@ func (c *Cluster) NextTime() (gpusim.Micros, bool) {
 // Stats implements serving.Driver: fleet-wide counters summed over
 // instances, plus the cluster's own admission-shed count.
 func (c *Cluster) Stats() serving.DriverStats {
-	ds := serving.DriverStats{Instances: len(c.engines)}
+	ds := serving.DriverStats{
+		Instances:    len(c.engines),
+		Failed:       c.failedN,
+		Redispatches: c.redispatchN,
+		Crashes:      c.crashes,
+		Restarts:     c.restarts,
+	}
 	if c.acc != nil {
 		ds.Rejected = c.acc.m.Rejected
 	}
@@ -379,6 +481,13 @@ func (c *Cluster) Stats() serving.DriverStats {
 		es := e.Stats()
 		inst := es.PerInstance[0]
 		inst.Inst = i + 1 // retag with the fleet-wide instance number
+		inst.Health = string(c.InstanceHealth(i))
+		if c.perInstRedisp != nil {
+			inst.Redispatched = c.perInstRedisp[i]
+		}
+		if !c.down(i) {
+			ds.InstancesUp++
+		}
 		ds.PerInstance = append(ds.PerInstance, inst)
 		ds.QueueDepth += es.QueueDepth
 		ds.Running += es.Running
@@ -392,6 +501,8 @@ func (c *Cluster) Stats() serving.DriverStats {
 		ds.SwapOutBytes += es.SwapOutBytes
 		ds.SwapInBytes += es.SwapInBytes
 		ds.HostPrefixHits += es.HostPrefixHits
+		ds.LostKVBytes += es.LostKVBytes
+		ds.BrownoutAdmits += es.BrownoutAdmits
 		if es.ClockUs > ds.ClockUs {
 			ds.ClockUs = es.ClockUs
 		}
@@ -404,7 +515,27 @@ func (c *Cluster) Stats() serving.DriverStats {
 		ds.ThroughputTokensPerSec = genTok / (ds.ClockUs / 1e6)
 		ds.GoodputTokensPerSec = doneTok / (ds.ClockUs / 1e6)
 	}
+	ds.SwapRecovered = c.swapRecovered
 	return ds
+}
+
+// finishMetrics finalizes the accumulator and overlays the cluster's
+// fault-recovery counters.
+func (c *Cluster) finishMetrics() Metrics {
+	m := c.acc.finish(c.engines)
+	m.Failed = c.failedN
+	m.Redispatches = c.redispatchN
+	m.Crashes = c.crashes
+	m.Restarts = c.restarts
+	m.SwapRecovered = c.swapRecovered
+	m.LostKVBytes = c.lostKV
+	for i, e := range c.engines {
+		m.BrownoutAdmits += e.BrownoutAdmits()
+		if c.perInstRedisp != nil {
+			m.PerInstance[i].Redispatched = c.perInstRedisp[i]
+		}
+	}
+	return m
 }
 
 // DrainContext steps the cluster until every instance is idle, the
@@ -436,5 +567,5 @@ func (c *Cluster) Metrics() Metrics {
 	if c.acc == nil {
 		c.acc = newAccumulator(c.cfg, c.policy.Name(), 0)
 	}
-	return c.acc.finish(c.engines)
+	return c.finishMetrics()
 }

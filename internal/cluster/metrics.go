@@ -38,6 +38,9 @@ type InstanceStats struct {
 	BusySeconds float64
 	// Utilization is BusySeconds over the cluster makespan.
 	Utilization float64
+	// Redispatched counts crash orphans this instance accepted from
+	// other instances' failures (0 without a fault plan).
+	Redispatched int
 }
 
 // Metrics aggregates one cluster run: request accounting, SLO latency
@@ -53,6 +56,10 @@ type Metrics struct {
 	// Cancelled counts dispatched session requests cancelled mid-flight
 	// (their KV state was freed without completing; 0 in batch runs).
 	Cancelled int
+	// Failed counts dispatched requests terminally failed by fault
+	// injection: their instance crashed and the re-dispatch retry budget
+	// ran out (0 without a fault plan).
+	Failed int
 
 	// ElapsedSeconds is the cluster makespan (latest instance clock).
 	ElapsedSeconds float64
@@ -96,12 +103,27 @@ type Metrics struct {
 	SwapStallSeconds float64
 	ThrashRate       float64
 	HostPrefixHits   int
+
+	// Fault-injection recovery accounting (all zero without a fault
+	// plan). Redispatches counts crash orphans re-dispatched to
+	// survivors; SwapRecovered counts sequences the host tier carried
+	// through a crash (resumed instead of recomputed); LostKVBytes is
+	// the GPU KV footprint destroyed by crashes; BrownoutAdmits counts
+	// admissions forced to the all-low tier under queue pressure.
+	Crashes        int
+	Restarts       int
+	Redispatches   int
+	SwapRecovered  int
+	LostKVBytes    int64
+	BrownoutAdmits int
 }
 
-// Stuck counts dispatched requests that neither completed nor were
-// cancelled. After a drained run it must be 0 — the liveness invariant
-// cluster tests assert.
-func (m Metrics) Stuck() int { return m.Dispatched - m.Completed - m.Cancelled }
+// Stuck counts dispatched requests that reached no terminal state:
+// neither completed, cancelled, nor terminally failed by fault
+// injection. After a drained run it must be 0 — the liveness invariant
+// cluster tests assert — so failed requests count as accounted-for,
+// not stuck.
+func (m Metrics) Stuck() int { return m.Dispatched - m.Completed - m.Cancelled - m.Failed }
 
 // accumulator collects per-event state during a run and finalizes Metrics.
 type accumulator struct {

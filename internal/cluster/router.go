@@ -22,6 +22,10 @@ type Snapshot struct {
 	SwappedTokens int
 	// ClockUs is the instance's simulated clock.
 	ClockUs float64
+	// Degraded marks an instance in a transient fault-injection
+	// slowdown: routable, but load-aware policies down-weight it.
+	// Crashed (down) instances never appear in a snapshot at all.
+	Degraded bool
 }
 
 // Policy picks a target instance for each request. Pick receives only
@@ -139,9 +143,11 @@ func (leastLoaded) Pick(_ workload.Request, snaps []Snapshot) int {
 // less orders snapshots by load: (queued+running, resident+swapped tokens,
 // ID). Swapped tokens count as load — a host-resident sequence reclaims
 // GPU pages before any new admission runs — so the policy is offload-aware
-// without a separate mode.
+// without a separate mode. A degraded instance's load is inflated (4x+2),
+// so it only wins against healthy instances carrying several times its
+// queue: graceful degradation rather than exclusion.
 func less(a, b Snapshot) bool {
-	la, lb := a.QueueDepth+a.Running, b.QueueDepth+b.Running
+	la, lb := loadOf(a), loadOf(b)
 	if la != lb {
 		return la < lb
 	}
@@ -150,6 +156,16 @@ func less(a, b Snapshot) bool {
 		return ta < tb
 	}
 	return a.ID < b.ID
+}
+
+// loadOf is the in-flight load a snapshot contributes to routing, with
+// the degraded penalty applied.
+func loadOf(s Snapshot) int {
+	l := s.QueueDepth + s.Running
+	if s.Degraded {
+		l = l*4 + 2
+	}
+	return l
 }
 
 // prefixAffinity routes requests sharing a prompt prefix to the instance

@@ -1,0 +1,32 @@
+package experiments
+
+import (
+	"testing"
+
+	"diffkv/internal/offload"
+)
+
+// The chaos experiment's headline claim: with crashes in play, host-tier
+// swap recovery preserves work that recompute recovery regenerates, so
+// goodput is strictly better and the swap-recovery path visibly ran.
+func TestChaosSwapBeatsRecomputeGoodput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	const rate, n, seed = 3.0, 36, 42
+	rec := ChaosRun(rate, offload.PolicyRecompute, n, seed)
+	swp := ChaosRun(rate, offload.PolicySwap, n, seed)
+	if rec.Crashes == 0 || swp.Crashes == 0 {
+		t.Fatalf("no crashes injected: recompute %d, swap %d", rec.Crashes, swp.Crashes)
+	}
+	if rec.Crashes != swp.Crashes {
+		t.Fatalf("crash timelines diverged: recompute %d, swap %d", rec.Crashes, swp.Crashes)
+	}
+	if swp.SwapRecovered == 0 {
+		t.Fatal("swap recovery never carried a sequence through a crash")
+	}
+	if swp.GoodputReqPerSec <= rec.GoodputReqPerSec {
+		t.Fatalf("swap recovery goodput %.3f req/s not above recompute %.3f req/s",
+			swp.GoodputReqPerSec, rec.GoodputReqPerSec)
+	}
+}

@@ -37,9 +37,9 @@ func TestOptsDefaults(t *testing.T) {
 }
 
 func TestRegistryComplete(t *testing.T) {
-	// every paper artifact, the ablations, and the cluster + offload
-	// experiments
-	if len(Registry) != 17+7+2 {
+	// every paper artifact, the ablations, and the cluster + offload +
+	// chaos experiments
+	if len(Registry) != 17+7+3 {
 		t.Fatalf("registry has %d entries", len(Registry))
 	}
 	ids := IDs()
@@ -69,7 +69,7 @@ func TestCheapHarnessesSmoke(t *testing.T) {
 		t.Skip("short mode")
 	}
 	for _, id := range []string{"fig2", "fig3", "fig4", "fig5", "fig13", "fig15",
-		"abl-tables", "abl-levels", "abl-pagesize", "cluster-routing"} {
+		"abl-tables", "abl-levels", "abl-pagesize", "cluster-routing", "chaos"} {
 		tables, err := Run(id, Opts{Fast: true, Reps: 1, Seed: 7})
 		if err != nil {
 			t.Fatalf("%s: %v", id, err)

@@ -32,6 +32,9 @@ var Registry = map[string]Runner{
 	// beyond the paper: host-memory KV offload under oversubscription
 	// (DESIGN.md §9)
 	"offload": Offload,
+	// beyond the paper: fault injection and failure recovery (DESIGN.md
+	// §13) — swap-recovery vs recompute-recovery goodput under crashes
+	"chaos": Chaos,
 	// design-choice ablations beyond the paper's headline results
 	// (DESIGN.md §6)
 	"abl-scan":     AblationScan,

@@ -1,0 +1,170 @@
+package faults
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestScheduleDeterministic(t *testing.T) {
+	p := Plan{Seed: 7, CrashRatePerMin: 3, MeanDownSec: 2, HorizonSec: 60,
+		Crashes:   []Crash{{Inst: 1, AtSec: 5, DownSec: 3}},
+		Slowdowns: []Slowdown{{Inst: 2, AtSec: 1, DurSec: 4, Factor: 2.5}}}
+	a, err := New(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Events()) == 0 {
+		t.Fatal("expected a non-empty expanded schedule")
+	}
+	if !reflect.DeepEqual(a.Events(), b.Events()) {
+		t.Fatal("same plan+seed expanded to different schedules")
+	}
+	// and the rate-driven part actually fired: more events than the
+	// explicit ones alone
+	if len(a.Events()) <= 4 {
+		t.Fatalf("rate-driven expansion produced no events: %v", a.Events())
+	}
+
+	c, err := New(Plan{Seed: 8, CrashRatePerMin: 3, MeanDownSec: 2, HorizonSec: 60}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := New(Plan{Seed: 7, CrashRatePerMin: 3, MeanDownSec: 2, HorizonSec: 60}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(c.Events(), d.Events()) {
+		t.Fatal("different seeds expanded to the identical schedule")
+	}
+}
+
+func TestScheduleOrderedAndNormalized(t *testing.T) {
+	in, err := New(Plan{Seed: 3, CrashRatePerMin: 10, MeanDownSec: 1, HorizonSec: 120}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	down := map[int]bool{}
+	last := -1.0
+	for _, ev := range in.Events() {
+		if ev.AtUs < last {
+			t.Fatalf("schedule out of order at %v", ev)
+		}
+		last = ev.AtUs
+		switch ev.Op {
+		case OpCrash:
+			if down[ev.Inst] {
+				t.Fatalf("crash of already-down instance %d", ev.Inst)
+			}
+			down[ev.Inst] = true
+		case OpRestart:
+			if !down[ev.Inst] {
+				t.Fatalf("restart of up instance %d", ev.Inst)
+			}
+			down[ev.Inst] = false
+		}
+	}
+}
+
+func TestHasRestart(t *testing.T) {
+	in, err := New(Plan{
+		Crashes: []Crash{{Inst: 1, AtSec: 1, DownSec: 2}, {Inst: 2, AtSec: 1}},
+	}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !in.HasRestart(1) {
+		t.Fatal("instance 1 crash has a scheduled restart")
+	}
+	if in.HasRestart(2) {
+		t.Fatal("instance 2 crash is permanent")
+	}
+}
+
+func TestBackoffBoundsAndGrowth(t *testing.T) {
+	in, err := New(Plan{Seed: 1, RetryBaseMs: 50, Crashes: []Crash{{Inst: 1, AtSec: 0}}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for attempt := 1; attempt <= 4; attempt++ {
+		for i := 0; i < 100; i++ {
+			d := in.Backoff(attempt)
+			lo := 50e3 * float64(int(1)<<(attempt-1)) * 0.5
+			hi := 50e3 * float64(int(1)<<(attempt-1)) * 1.5
+			if d < lo || d >= hi {
+				t.Fatalf("attempt %d backoff %.0fus outside [%.0f, %.0f)", attempt, d, lo, hi)
+			}
+		}
+	}
+}
+
+func TestXferFaultRateAndDeterminism(t *testing.T) {
+	mk := func(seed uint64) []bool {
+		in, err := New(Plan{Seed: seed, PCIeErrorRate: 0.2}, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]bool, 10000)
+		for i := range out {
+			out[i] = in.XferFault()
+		}
+		return out
+	}
+	a, b := mk(9), mk(9)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed drew different fault sequences")
+	}
+	n := 0
+	for _, f := range a {
+		if f {
+			n++
+		}
+	}
+	if n < 1500 || n > 2500 {
+		t.Fatalf("fault rate off: %d/10000 at p=0.2", n)
+	}
+
+	off, err := New(Plan{Seed: 9}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if off.XferFault() {
+			t.Fatal("XferFault fired with zero error rate")
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Plan{
+		{Crashes: []Crash{{Inst: 0, AtSec: 1}}},
+		{Crashes: []Crash{{Inst: 5, AtSec: 1}}},
+		{Crashes: []Crash{{Inst: 1, AtSec: -1}}},
+		{Slowdowns: []Slowdown{{Inst: 1, AtSec: 0, DurSec: 1, Factor: 1}}},
+		{Slowdowns: []Slowdown{{Inst: 1, AtSec: 0, DurSec: 0, Factor: 2}}},
+		{CrashRatePerMin: -1},
+		{PCIeErrorRate: 1.5},
+	}
+	for i, p := range bad {
+		if _, err := New(p, 2); err == nil {
+			t.Fatalf("plan %d validated but should not have", i)
+		}
+	}
+	if _, err := New(Plan{Crashes: []Crash{{Inst: 2, AtSec: 0.5, DownSec: 1}}}, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRetryBudgetDefaults(t *testing.T) {
+	in, _ := New(Plan{}, 1)
+	if got := in.RetryBudget(); got != DefaultRetryBudget {
+		t.Fatalf("default retry budget = %d, want %d", got, DefaultRetryBudget)
+	}
+	in, _ = New(Plan{RetryBudget: -1}, 1)
+	if got := in.RetryBudget(); got != 0 {
+		t.Fatalf("negative retry budget should normalize to 0, got %d", got)
+	}
+}

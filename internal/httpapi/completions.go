@@ -2,6 +2,7 @@ package httpapi
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strings"
@@ -51,6 +52,9 @@ type simInfo struct {
 	Generated   int     `json:"generated,omitempty"`
 	FirstToken  bool    `json:"first_token,omitempty"`
 	Preemptions int     `json:"preemptions,omitempty"`
+	// Attempts counts dispatches across instances; present only when >1
+	// (the request survived an instance crash via re-dispatch).
+	Attempts int `json:"attempts,omitempty"`
 	// Phase-attributed latency (final responses only): the buckets sum
 	// to e2e_ms.
 	QueueMs   float64 `json:"queue_ms,omitempty"`
@@ -72,6 +76,16 @@ type completionResponse struct {
 }
 
 var stop = "stop"
+
+// retriedAttempts reports cp.Attempts only when the request was
+// dispatched more than once, so single-dispatch responses omit the
+// field entirely.
+func retriedAttempts(cp serving.Completion) int {
+	if cp.Attempts > 1 {
+		return cp.Attempts
+	}
+	return 0
+}
 
 // fillerVocab supplies deterministic placeholder token text: the
 // simulator computes timing and memory, not language, but streams must
@@ -175,6 +189,13 @@ func (g *Gateway) completeBlocking(w http.ResponseWriter, r *http.Request, wr wo
 	}
 	cp, err := s.Completion()
 	if err != nil {
+		if errors.Is(err, serving.ErrFailed) {
+			// the instance holding this request crashed and its re-dispatch
+			// retry budget ran out: honest 503, with a drain-sized hint
+			w.Header().Set("Retry-After", g.adaptiveRetryAfter(g.cfg.Loop.Metrics()))
+			writeError(w, http.StatusServiceUnavailable, "failed", err.Error())
+			return
+		}
 		writeError(w, http.StatusServiceUnavailable, "cancelled", err.Error())
 		return
 	}
@@ -199,6 +220,7 @@ func (g *Gateway) completeBlocking(w http.ResponseWriter, r *http.Request, wr wo
 			E2EMs:       (cp.DoneUs - cp.Req.ArrivalUs) / 1e3,
 			Generated:   cp.Req.GenLen,
 			Preemptions: cp.Preemptions,
+			Attempts:    retriedAttempts(cp),
 			QueueMs:     cp.Phases.QueueUs / 1e3,
 			PrefillMs:   cp.Phases.PrefillUs / 1e3,
 			DecodeMs:    cp.Phases.DecodeUs / 1e3,
@@ -294,6 +316,7 @@ func (g *Gateway) completeSSE(w http.ResponseWriter, r *http.Request, wr workloa
 					E2EMs:       (cp.DoneUs - cp.Req.ArrivalUs) / 1e3,
 					Generated:   cp.Req.GenLen,
 					Preemptions: cp.Preemptions,
+					Attempts:    retriedAttempts(cp),
 					QueueMs:     cp.Phases.QueueUs / 1e3,
 					PrefillMs:   cp.Phases.PrefillUs / 1e3,
 					DecodeMs:    cp.Phases.DecodeUs / 1e3,

@@ -13,6 +13,7 @@ package httpapi
 import (
 	"encoding/json"
 	"errors"
+	"math"
 	"net/http"
 	"strconv"
 	"time"
@@ -93,12 +94,26 @@ func (g *Gateway) Handler() http.Handler {
 	return mux
 }
 
+// instanceHealth is one instance's entry in the /healthz report.
+type instanceHealth struct {
+	Inst         int    `json:"inst"`
+	Health       string `json:"health"`
+	QueueDepth   int    `json:"queue_depth"`
+	Running      int    `json:"running"`
+	Redispatched int    `json:"redispatched,omitempty"`
+}
+
 // handleHealthz reports liveness: 200 while serving, 503 with a
 // Retry-After once the loop is draining or has stopped (graceful drain,
 // forced stop, or a driver error), so load balancers stop routing here
-// the moment Opens would start failing.
+// the moment Opens would start failing. Under fault injection the body
+// carries per-instance health; a fleet serving through crashed or
+// slowed instances reports status "degraded" but stays 200 — it still
+// accepts work, and shedding it entirely would turn a partial failure
+// into a total one.
 func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	m := g.cfg.Loop.Metrics()
+	d := m.Driver
 	status := "ok"
 	code := http.StatusOK
 	switch {
@@ -111,22 +126,74 @@ func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	case m.Draining:
 		status = "draining"
 		code = http.StatusServiceUnavailable
-		w.Header().Set("Retry-After", g.retryAfterSeconds())
+		w.Header().Set("Retry-After", g.adaptiveRetryAfter(m))
+	default:
+		for _, is := range d.PerInstance {
+			if is.Health != "" && is.Health != "healthy" {
+				status = "degraded"
+				break
+			}
+		}
 	}
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(map[string]any{
+	body := map[string]any{
 		"status":         status,
 		"model":          g.cfg.ModelName,
 		"uptime_seconds": m.UptimeSeconds,
-		"open_sessions":  m.Driver.OpenSessions,
+		"open_sessions":  d.OpenSessions,
 		"completed":      m.Completed,
-	})
+		"instances_up":   d.InstancesUp,
+	}
+	if d.Failed > 0 {
+		body["failed"] = d.Failed
+	}
+	if len(d.PerInstance) > 0 {
+		insts := make([]instanceHealth, 0, len(d.PerInstance))
+		for _, is := range d.PerInstance {
+			insts = append(insts, instanceHealth{
+				Inst:         is.Inst,
+				Health:       is.Health,
+				QueueDepth:   is.QueueDepth,
+				Running:      is.Running,
+				Redispatched: is.Redispatched,
+			})
+		}
+		body["instances"] = insts
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(body)
 }
 
 func (g *Gateway) retryAfterSeconds() string {
 	secs := int((g.cfg.RetryAfter + time.Second - 1) / time.Second)
 	return strconv.Itoa(secs)
+}
+
+// adaptiveRetryAfter sizes the Retry-After hint from the live queue: a
+// client told to come back should not return while the backlog it was
+// shed over is still draining.
+func (g *Gateway) adaptiveRetryAfter(m serving.LoopMetrics) string {
+	d := m.Driver
+	return strconv.Itoa(retryAfterHint(g.cfg.RetryAfter, m.E2E.Mean, d.QueueDepth, d.InstancesUp))
+}
+
+// retryAfterHint estimates queue-drain time in whole seconds: the mean
+// end-to-end latency of completed requests, times the queued backlog,
+// spread over the instances still up — clamped to [floor, 60s]. With no
+// completions yet (mean 0) it falls back to the configured floor.
+func retryAfterHint(floor time.Duration, meanE2ESec float64, queued, up int) int {
+	if up < 1 {
+		up = 1
+	}
+	est := int(math.Ceil(meanE2ESec * float64(queued) / float64(up)))
+	min := int((floor + time.Second - 1) / time.Second)
+	if est < min {
+		est = min
+	}
+	if est > 60 {
+		est = 60
+	}
+	return est
 }
 
 // errorBody is the OpenAI-style error envelope.
@@ -150,11 +217,13 @@ func writeError(w http.ResponseWriter, status int, typ, msg string) {
 // writeOpenError maps a Loop.Open failure onto HTTP: saturation
 // (cluster admission shed) and shutdown are 503 with a Retry-After so
 // well-behaved clients back off and retry elsewhere; anything else is a
-// caller error.
+// caller error. The saturation hint is adaptive — sized from the queue
+// backlog per live instance, not a fixed constant — so a brownout tells
+// clients how long the brownout actually is.
 func (g *Gateway) writeOpenError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, cluster.ErrAllSaturated):
-		w.Header().Set("Retry-After", g.retryAfterSeconds())
+		w.Header().Set("Retry-After", g.adaptiveRetryAfter(g.cfg.Loop.Metrics()))
 		writeError(w, http.StatusServiceUnavailable, "overloaded", err.Error())
 	case errors.Is(err, serving.ErrLoopShutdown):
 		w.Header().Set("Retry-After", g.retryAfterSeconds())

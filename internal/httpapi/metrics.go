@@ -63,6 +63,15 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		float64(d.FreeKVPages), func(is serving.InstanceStats) float64 { return float64(is.FreeKVPages) })
 	instGauge("diffkv_kv_pages_used", "Used KV cache pages in manager mode (unlabeled: fleet total; inst label: per instance).",
 		float64(d.UsedKVPages), func(is serving.InstanceStats) float64 { return float64(is.UsedKVPages) })
+	instGauge("diffkv_instance_up", "1 while the instance serves (unlabeled: instances up; inst label: per instance, 0 when crashed).",
+		float64(d.InstancesUp), func(is serving.InstanceStats) float64 { return boolGauge(is.Health != "down") })
+	counter("diffkv_requests_failed_total", "Requests terminally failed by fault injection (crash retry budget exhausted).", float64(d.Failed))
+	counter("diffkv_crashes_total", "Instance crash events injected.", float64(d.Crashes))
+	counter("diffkv_restarts_total", "Instance restart events after injected crashes.", float64(d.Restarts))
+	counter("diffkv_redispatches_total", "Crash orphans re-dispatched to surviving instances.", float64(d.Redispatches))
+	counter("diffkv_swap_recovered_total", "Sequences the host tier carried through a crash (resumed, not recomputed).", float64(d.SwapRecovered))
+	counter("diffkv_lost_kv_bytes_total", "GPU KV cache bytes destroyed by instance crashes.", float64(d.LostKVBytes))
+	counter("diffkv_brownout_admissions_total", "Admissions forced to the all-low compression tier under queue pressure.", float64(d.BrownoutAdmits))
 	counter("diffkv_swap_out_bytes_total", "Bytes swapped out to the host tier.", float64(d.SwapOutBytes))
 	counter("diffkv_swap_in_bytes_total", "Bytes swapped back in from the host tier.", float64(d.SwapInBytes))
 	counter("diffkv_host_prefix_hits_total", "Prefix-cache entries served back from host memory.", float64(d.HostPrefixHits))

@@ -76,6 +76,21 @@ type Config struct {
 	// evicted from the GPU prefix cache spill to the host tier instead of
 	// vanishing, and admissions consult it on a GPU miss.
 	HostMemoryBytes int64
+	// XferFault, when non-nil, is consulted once per host<->device KV
+	// transfer (swap-out, swap-in, host-prefix promotion); returning
+	// true fails that transfer: a faulted swap-out falls back to
+	// recompute recovery, a faulted swap-in or promotion stays put and
+	// retries on a later scheduler pass. Wired by the fault-injection
+	// layer (internal/faults) to a seeded draw so runs stay
+	// reproducible.
+	XferFault func() bool
+	// BrownoutQueueDepth enables graceful degradation under pressure:
+	// when the pending queue is at least this deep at admission, the
+	// request enters at the all-low compression tier (its high-precision
+	// budget shifted into the low tier), trading fidelity for memory
+	// headroom so the queue drains faster. 0 disables. Manager mode
+	// only — traits-mode capacity is analytic and unaffected.
+	BrownoutQueueDepth int
 	// Tracer receives admission/preemption/completion/step events when
 	// non-nil (see the trace package).
 	Tracer trace.Tracer
@@ -189,6 +204,11 @@ type Completion struct {
 	// maintained at every scheduler transition, so they sum to the
 	// end-to-end latency exactly.
 	Phases trace.PhaseBreakdown
+	// Attempts is how many instances dispatched this request: 1 when it
+	// completed where it first landed, more after crash re-dispatches.
+	// ArrivalUs is preserved across re-dispatches, so TTFT/E2E honestly
+	// include the time lost to dead instances.
+	Attempts int
 }
 
 type seqState struct {
@@ -200,6 +220,7 @@ type seqState struct {
 	cached     int     // prompt tokens served from the prefix cache
 	firstTokUs float64 // clock when the prompt phase completed
 	swapBytes  int64   // D2H bytes of the latest swap-out (trace payload)
+	brownout   bool    // admitted at the all-low tier (graceful degradation)
 }
 
 // prefixEntry tracks one resident shared-prefix group.
@@ -244,7 +265,17 @@ type Engine struct {
 	xferUs       gpusim.Micros // total PCIe transfer time, pre-overlap
 	preemptN     map[int]int
 	retryUs      map[int][]float64
+	attempts     map[int]int       // dispatch count of re-dispatched requests
 	phase        map[int]*phaseAcc // per in-flight request lifecycle phase
+
+	// fault-tolerance state (faulttol.go)
+	slowFactor  float64 // step-time multiplier while degraded (<=1 = none)
+	brownoutN   int     // admissions made at the all-low tier
+	lostKVBytes int64   // GPU KV bytes lost to crashes
+	// readmitted marks crash orphans awaiting their first admission
+	// here: they carry pre-crash preemption counts, but that admission
+	// is a re-dispatch (already in RetryUs), not a preemption retry
+	readmitted map[int]bool
 
 	// session state (Open / DrainContext): per-request handles with token
 	// callbacks and cancellation (see session.go)
@@ -522,6 +553,9 @@ func (e *Engine) admit() error {
 		if len(e.running) > 0 && !e.fitsTokens(needed) {
 			break
 		}
+		if e.xferFault() {
+			break // H2D transfer faulted; the sequence retries next pass
+		}
 		res, err := e.tiered.SwapIn(st.req.ID, float64(e.clock))
 		if err != nil {
 			break // GPU pages not yet available; retry after a completion
@@ -550,9 +584,15 @@ func (e *Engine) admit() error {
 		if st.req.GenLen > e.cfg.MaxGenLen {
 			st.req.GenLen = e.cfg.MaxGenLen
 		}
+		// brownout: with the queue this deep (the popped request
+		// included), admit at the all-low tier for memory headroom
+		st.brownout = e.cfg.BrownoutQueueDepth > 0 && len(e.pending) >= e.cfg.BrownoutQueueDepth
 		if e.prefix != nil && r.PrefixGroup != 0 {
 			ent, ok := e.prefix[r.PrefixGroup]
-			if !ok && e.tiered != nil {
+			if !ok && e.tiered != nil && e.tiered.HostPrefixTokens(r.PrefixGroup) > 0 && e.xferFault() {
+				// H2D promotion faulted: treat as a miss; the spilled entry
+				// stays in the host tier for the group's next request
+			} else if !ok && e.tiered != nil {
 				// GPU prefix miss: consult the host tier and promote a
 				// spilled entry back, paying H2D for its compressed bytes
 				if tok, bytes, hok := e.tiered.TakePrefix(r.PrefixGroup, float64(e.clock)); hok {
@@ -588,11 +628,18 @@ func (e *Engine) admit() error {
 		}
 		e.running = append(e.running, st)
 		e.pending = e.pending[1:]
-		if e.preemptN[r.ID] > 0 {
+		if e.readmitted[r.ID] {
+			delete(e.readmitted, r.ID)
+		} else if e.preemptN[r.ID] > 0 {
 			e.noteRetry(r.ID)
 		}
 		e.phaseTo(r.ID, trace.PhasePrefill)
-		e.emit(trace.Event{Kind: trace.KindAdmit, TimeUs: float64(e.clock), Seq: st.req.ID})
+		ev := trace.Event{Kind: trace.KindAdmit, TimeUs: float64(e.clock), Seq: st.req.ID}
+		if st.brownout {
+			e.brownoutN++
+			ev.Note = "brownout"
+		}
+		e.emit(ev)
 	}
 	return nil
 }
@@ -739,6 +786,11 @@ func (e *Engine) step() ([]Completion, error) {
 	}
 	e.recordPreemptions(preempted, swapped)
 	stepTime := bd.Total()
+	if e.slowFactor > 1 {
+		// degraded window (fault injection): every step stretches by the
+		// slowdown factor — straggler GPU, thermal throttle
+		stepTime = gpusim.Micros(float64(stepTime) * e.slowFactor)
+	}
 	e.clock += stepTime
 	e.busyUs += stepTime
 	e.batchTimeUs += float64(len(e.running)) * float64(stepTime)
@@ -791,12 +843,21 @@ func (e *Engine) step() ([]Completion, error) {
 				FirstTokenUs:       st.firstTokUs,
 				DoneUs:             float64(e.clock),
 				CachedPrefixTokens: st.cached,
+				Attempts:           1,
 				Phases:             e.phaseClose(st.req.ID),
+			}
+			if n := e.attempts[st.req.ID]; n > 0 {
+				cp.Attempts = n
+				delete(e.attempts, st.req.ID)
 			}
 			if n := e.preemptN[st.req.ID]; n > 0 {
 				cp.Preemptions = n
-				cp.RetryUs = e.retryUs[st.req.ID]
 				delete(e.preemptN, st.req.ID)
+			}
+			// retry timestamps flow from preemption recoveries and from
+			// crash re-dispatches alike
+			if rs := e.retryUs[st.req.ID]; len(rs) > 0 {
+				cp.RetryUs = rs
 				delete(e.retryUs, st.req.ID)
 			}
 			if s, ok := e.sessions[st.req.ID]; ok {
@@ -958,6 +1019,12 @@ func (e *Engine) registerSeq(st *seqState) error {
 	for h := range st.hiF {
 		st.hiF[h] = mathx.Clamp(e.cfg.HiFrac*e.rng.LogNorm(0, 0.3), 0.02, 0.9)
 		st.loF[h] = mathx.Clamp(e.cfg.LoFrac*e.rng.LogNorm(0, 0.3), 0, 0.9-st.hiF[h])
+		if st.brownout {
+			// the whole tier budget shifts low, like a compress-swap
+			// victim's post-requantize state
+			st.loF[h] = mathx.Clamp(st.hiF[h]+st.loF[h], 0, 0.9)
+			st.hiF[h] = 0
+		}
 	}
 	return nil
 }
@@ -1167,7 +1234,8 @@ func (e *Engine) genStep(seqs []*seqState) (StepBreakdown, []*seqState, []*seqSt
 			victim := active[vi]
 			active = append(active[:vi], active[vi+1:]...)
 			recovered := false
-			if e.tiered != nil && e.rpolicy.Recovery() != offload.RecoverRecompute {
+			if e.tiered != nil && e.rpolicy.Recovery() != offload.RecoverRecompute &&
+				!e.xferFault() { // a faulted D2H falls back to recompute
 				compress := e.rpolicy.Recovery() == offload.RecoverCompressSwap
 				res, serr := e.tiered.SwapOut(victim.req.ID, compress, float64(e.clock))
 				if serr == nil {

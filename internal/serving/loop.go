@@ -59,6 +59,24 @@ type DriverStats struct {
 	Cancelled   int
 	Rejected    int
 	Preemptions int
+	// Fault-recovery lifetime counters (all zero without fault
+	// injection). Failed counts requests terminally failed after
+	// exhausting their crash re-dispatch budget; Redispatches counts
+	// orphan re-dispatches to surviving instances; Crashes / Restarts
+	// count instance fault transitions; LostKVBytes is the GPU KV
+	// footprint destroyed by crashes; SwapRecovered counts sequences the
+	// host tier carried through a crash; BrownoutAdmits counts
+	// admissions forced to the all-low tier under queue pressure.
+	Failed         int
+	Redispatches   int
+	Crashes        int
+	Restarts       int
+	LostKVBytes    int64
+	SwapRecovered  int
+	BrownoutAdmits int
+	// InstancesUp counts instances currently not down (equals Instances
+	// without fault injection).
+	InstancesUp int
 	// ClockUs is the latest simulated clock across instances.
 	ClockUs float64
 	// ThroughputTokensPerSec / GoodputTokensPerSec are simulated-time
@@ -88,6 +106,12 @@ type InstanceStats struct {
 	Swapped     int
 	FreeKVPages int
 	UsedKVPages int
+	// Health is the instance's fault-injection state: "healthy",
+	// "degraded" (transient slowdown) or "down" (crashed, awaiting
+	// restart). Always "healthy" without fault injection.
+	Health string
+	// Redispatched counts crash orphans this instance accepted.
+	Redispatched int
 }
 
 // LoopConfig parameterizes a Loop.
@@ -480,6 +504,9 @@ func (e *Engine) Stats() DriverStats {
 		SwapOutBytes:           r.Offload.SwapOutBytes,
 		SwapInBytes:            r.Offload.SwapInBytes,
 		HostPrefixHits:         r.Offload.PrefixHits,
+		LostKVBytes:            e.lostKVBytes,
+		BrownoutAdmits:         e.brownoutN,
+		InstancesUp:            1,
 	}
 	if e.mgr != nil {
 		ds.FreeKVPages = e.mgr.FreePages()
@@ -492,6 +519,7 @@ func (e *Engine) Stats() DriverStats {
 		Swapped:     ds.Swapped,
 		FreeKVPages: ds.FreeKVPages,
 		UsedKVPages: ds.UsedKVPages,
+		Health:      "healthy",
 	}}
 	return ds
 }

@@ -14,6 +14,11 @@ import (
 // completion (explicitly or via its context).
 var ErrCancelled = errors.New("serving: session cancelled")
 
+// ErrFailed is the terminal error of a session whose request could not
+// be completed after instance crashes: its re-dispatch retry budget ran
+// out (or no instance was left to route to).
+var ErrFailed = errors.New("serving: request failed after instance crashes")
+
 // TokenUpdate is one token-progress notification delivered to a
 // session's OnToken callback from the driving goroutine.
 type TokenUpdate struct {
@@ -89,6 +94,29 @@ func (s *Session) Completion() (Completion, error) {
 // finished session is a no-op.
 func (s *Session) Cancel() {
 	s.eng.cancelSession(s)
+}
+
+// Abort terminally fails the session with err (ErrFailed when nil).
+// The recovery layer calls it for crash orphans that exhaust their
+// retry budget — the request is already off every engine by then
+// (Crash orphaned it), so only the session-side terminal state is set.
+func (s *Session) Abort(err error) {
+	if err == nil {
+		err = ErrFailed
+	}
+	s.finish(Completion{Req: s.req}, err)
+}
+
+// rebind transfers the session to a new engine after a crash
+// re-dispatch: progress counters (generated, firstSent) persist so the
+// token stream stays monotonic and First is delivered at most once per
+// request, even though the new engine replays the prompt from scratch.
+func (s *Session) rebind(e *Engine) {
+	s.eng = e
+	if e.sessions == nil {
+		e.sessions = make(map[int]*Session)
+	}
+	e.sessions[s.req.ID] = s
 }
 
 // finish marks the session terminal and signals Done.
@@ -206,6 +234,8 @@ func (e *Engine) finalizeCancel(s *Session) {
 	}
 	delete(e.preemptN, id)
 	delete(e.retryUs, id)
+	delete(e.attempts, id)
+	delete(e.readmitted, id)
 	delete(e.phase, id)
 	delete(e.sessions, id)
 	e.cancelledN++

@@ -86,6 +86,8 @@ const (
 	SpanXferH2D       = "xfer:h2d"
 	SpanDispatch      = "dispatch"
 	SpanHostPrefixHit = "host_prefix_hit"
+	SpanRetry         = "retry"
+	SpanRecover       = "recover"
 )
 
 // RequestSpans is the reconstructed lifecycle of one request: its root
@@ -99,12 +101,20 @@ type RequestSpans struct {
 	// or the last retained event for still-running requests.
 	StartUs float64 `json:"start_us"`
 	EndUs   float64 `json:"end_us"`
-	// Completed / Cancelled mark how the request ended; both false means
-	// it was still in flight at the end of the event stream.
+	// Completed / Cancelled / Failed mark how the request ended; all
+	// false means it was still in flight at the end of the event stream.
+	// Failed is the terminal fault-injection outcome: the request
+	// exhausted its re-dispatch budget after instance crashes.
 	Completed bool `json:"completed,omitempty"`
 	Cancelled bool `json:"cancelled,omitempty"`
+	Failed    bool `json:"failed,omitempty"`
+	// FailReason carries the Note of the fail event (Failed only).
+	FailReason string `json:"fail_reason,omitempty"`
 	// Preemptions counts preempt + swap_out events.
 	Preemptions int `json:"preemptions,omitempty"`
+	// Retries counts crash-orphaning retry events: each is one lost
+	// residency on an instance that died with the request on board.
+	Retries int `json:"retries,omitempty"`
 	// Phases is the per-phase latency attribution summed from the phase
 	// spans; for completed requests it sums to EndUs-StartUs.
 	Phases PhaseBreakdown `json:"phases"`
@@ -206,6 +216,25 @@ func (b *spanBuilder) feed(e Event) {
 		b.begin(t, PhaseQueue)
 		b.finish(t)
 		b.rt.Cancelled = true
+	case KindRetry:
+		// the request's residency on this instance ended with a crash;
+		// it re-enters queue state while awaiting re-dispatch. A
+		// re-dispatch lands on another instance and so starts a fresh
+		// tree there — this tree keeps the pre-crash history.
+		b.begin(t, PhaseQueue)
+		b.rt.Retries++
+		b.marker(SpanRetry, t, 0)
+		b.to(t, PhaseQueue)
+	case KindRecover:
+		// host-tier state survived the instance crash: the swapped
+		// sequence resumes after restart instead of recomputing
+		b.begin(t, PhaseSwapped)
+		b.marker(SpanRecover, t, e.Bytes)
+	case KindFail:
+		b.begin(t, PhaseQueue)
+		b.finish(t)
+		b.rt.Failed = true
+		b.rt.FailReason = e.Note
 	}
 }
 
@@ -242,7 +271,7 @@ func BuildRequestSpans(events []Event) []*RequestSpans {
 		if !b.started {
 			continue
 		}
-		if !b.rt.Completed && !b.rt.Cancelled {
+		if !b.rt.Completed && !b.rt.Cancelled && !b.rt.Failed {
 			b.finish(b.lastUs)
 		}
 		out = append(out, b.rt)

@@ -45,6 +45,20 @@ const (
 	// KindFirstToken marks the prompt phase finishing (the TTFT point):
 	// the request transitions from prefill to decode.
 	KindFirstToken Kind = "first_token"
+	// Fault-injection lifecycle (internal/faults). KindHealth marks an
+	// instance health transition (Note carries the new state:
+	// healthy/degraded/down; Seq is 0 — it is an instance event, not a
+	// request event). KindRetry marks a request orphaned by an instance
+	// crash and queued for re-dispatch (emitted against the instance it
+	// was lost from). KindRecover marks a host-tier-swapped sequence
+	// surviving its instance's crash and resuming after restart (Bytes
+	// is the preserved host-tier footprint). KindFail is terminal: the
+	// request exhausted its re-dispatch budget (Note carries the
+	// reason).
+	KindHealth  Kind = "health"
+	KindRetry   Kind = "retry"
+	KindRecover Kind = "recover"
+	KindFail    Kind = "fail"
 )
 
 // Event is one traced occurrence.
@@ -65,6 +79,10 @@ type Event struct {
 	// swap_in PCIe traffic and host_prefix_hit promotions. For those
 	// events DurUs carries the modeled transfer time before overlap.
 	Bytes int64 `json:"bytes,omitempty"`
+	// Note carries a short annotation on fault-lifecycle events: the new
+	// health state on KindHealth, the orphaning cause on KindRetry, the
+	// terminal reason on KindFail.
+	Note string `json:"note,omitempty"`
 }
 
 // Tracer receives events. Implementations must be safe for concurrent use

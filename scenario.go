@@ -69,6 +69,74 @@ type ClusterSpec struct {
 	TPOTSLOSec         float64 `json:"tpot_slo_sec,omitempty"`
 }
 
+// FaultsSpec declares the scenario's deterministic fault-injection
+// plan (cluster scenarios only): scheduled or rate-sampled instance
+// crashes, transient slowdowns, a PCIe transfer error rate, and the
+// re-dispatch retry policy. The scenario seed drives schedule
+// expansion, backoff jitter and PCIe fault draws, so a checked-in
+// chaos spec reproduces its failures exactly.
+type FaultsSpec struct {
+	// Crashes and Slowdowns schedule explicit fault events.
+	Crashes   []CrashSpec    `json:"crashes,omitempty"`
+	Slowdowns []SlowdownSpec `json:"slowdowns,omitempty"`
+	// CrashRatePerMin > 0 adds seeded random crashes per instance with
+	// exponential interarrivals, each down for an exponentially
+	// distributed time of mean MeanDownSec (default 5), out to
+	// HorizonSec (default 120).
+	CrashRatePerMin float64 `json:"crash_rate_per_min,omitempty"`
+	MeanDownSec     float64 `json:"mean_down_sec,omitempty"`
+	HorizonSec      float64 `json:"horizon_sec,omitempty"`
+	// PCIeErrorRate is the per-transfer probability that a host<->device
+	// KV copy faults (swap-out falls back to recompute, swap-in retries).
+	PCIeErrorRate float64 `json:"pcie_error_rate,omitempty"`
+	// RetryBudget caps re-dispatches per request after crashes: 0
+	// selects the default (3), negative disables retries entirely.
+	RetryBudget int `json:"retry_budget,omitempty"`
+	// RetryBaseMs is the base exponential re-dispatch backoff
+	// (default 50).
+	RetryBaseMs float64 `json:"retry_base_ms,omitempty"`
+}
+
+// CrashSpec schedules one instance crash: Instance is 1-based,
+// DownSec <= 0 means the instance never restarts.
+type CrashSpec struct {
+	Instance int     `json:"instance"`
+	AtSec    float64 `json:"at_sec"`
+	DownSec  float64 `json:"down_sec,omitempty"`
+}
+
+// SlowdownSpec schedules one transient degraded window: the instance
+// keeps serving with step time multiplied by Factor (> 1) and the
+// router down-weights it.
+type SlowdownSpec struct {
+	Instance int     `json:"instance"`
+	AtSec    float64 `json:"at_sec"`
+	DurSec   float64 `json:"dur_sec"`
+	Factor   float64 `json:"factor"`
+}
+
+// faultPlan translates the spec into the internal fault plan, seeded
+// from the scenario seed.
+func faultPlan(s Scenario) *FaultPlan {
+	f := s.Faults
+	p := &FaultPlan{
+		Seed:            s.Seed,
+		CrashRatePerMin: f.CrashRatePerMin,
+		MeanDownSec:     f.MeanDownSec,
+		HorizonSec:      f.HorizonSec,
+		PCIeErrorRate:   f.PCIeErrorRate,
+		RetryBudget:     f.RetryBudget,
+		RetryBaseMs:     f.RetryBaseMs,
+	}
+	for _, c := range f.Crashes {
+		p.Crashes = append(p.Crashes, FaultCrash{Inst: c.Instance, AtSec: c.AtSec, DownSec: c.DownSec})
+	}
+	for _, sl := range f.Slowdowns {
+		p.Slowdowns = append(p.Slowdowns, FaultSlowdown{Inst: sl.Instance, AtSec: sl.AtSec, DurSec: sl.DurSec, Factor: sl.Factor})
+	}
+	return p
+}
+
 // GatewaySpec configures the network-facing HTTP gateway over a built
 // stack: where to listen, how to pace the simulation against wall time,
 // and per-request defaults. It parameterizes cmd/diffkv-gateway; the
@@ -141,9 +209,17 @@ type Scenario struct {
 	HostMemoryGB float64 `json:"host_memory_gb,omitempty"`
 	// Workload selects the request stream.
 	Workload WorkloadSpec `json:"workload"`
+	// BrownoutQueueDepth enables graceful degradation under queue
+	// pressure: once an instance's admission queue is at least this deep,
+	// new sequences are admitted at the deepest compression tier
+	// (all-low) instead of waiting for headroom (0 disables).
+	BrownoutQueueDepth int `json:"brownout_queue_depth,omitempty"`
 	// Cluster, when present, builds a multi-instance cluster instead of a
 	// single server.
 	Cluster *ClusterSpec `json:"cluster,omitempty"`
+	// Faults, when present, injects the declared fault plan into the
+	// cluster run (requires Cluster).
+	Faults *FaultsSpec `json:"faults,omitempty"`
 	// Gateway configures the HTTP serving front-end (diffkv-gateway):
 	// listen address, time pacing and request defaults. Absent, the
 	// gateway binary falls back to its flag defaults; the library Build
@@ -268,16 +344,22 @@ func (s Scenario) build(construct bool) (*Stack, error) {
 		// bias without a trace — reject instead of silently mis-sampling
 		return nil, fmt.Errorf("diffkv: scenario: workload cot only applies to plain closed-loop sampling (drop rate_per_sec/prefix)")
 	}
+	if s.Faults != nil && s.Cluster == nil {
+		// fault injection lives in the cluster event loop (health, routing,
+		// re-dispatch); a single server has no survivors to re-dispatch to
+		return nil, fmt.Errorf("diffkv: scenario: faults require a cluster section")
+	}
 
 	ec := ServerConfig{
-		Model:             st.Model,
-		Traits:            st.Method.ServingTraits(s.MemFrac),
-		MaxGenLen:         s.MaxGenLen,
-		MemoryReserve:     s.MemoryReserve,
-		PrefixCacheGroups: s.PrefixCacheGroups,
-		PreemptPolicy:     s.Preemption,
-		HostMemoryBytes:   int64(s.HostMemoryGB * float64(1<<30)),
-		Seed:              s.Seed,
+		Model:              st.Model,
+		Traits:             st.Method.ServingTraits(s.MemFrac),
+		MaxGenLen:          s.MaxGenLen,
+		MemoryReserve:      s.MemoryReserve,
+		PrefixCacheGroups:  s.PrefixCacheGroups,
+		PreemptPolicy:      s.Preemption,
+		HostMemoryBytes:    int64(s.HostMemoryGB * float64(1<<30)),
+		BrownoutQueueDepth: s.BrownoutQueueDepth,
+		Seed:               s.Seed,
 	}
 	if s.Cluster == nil {
 		// single-instance: the tracer attaches to the engine directly;
@@ -341,7 +423,7 @@ func withCluster(ec ServerConfig, gpus int) ServerConfig {
 // clusterConfig translates spec + engine config into a cluster Config.
 func clusterConfig(s Scenario, ec ServerConfig) ClusterServerConfig {
 	c := s.Cluster
-	return ClusterServerConfig{
+	cc := ClusterServerConfig{
 		Instances:          c.Instances,
 		Engine:             withCluster(ec, s.GPUs),
 		Policy:             c.Routing,
@@ -354,6 +436,10 @@ func clusterConfig(s Scenario, ec ServerConfig) ClusterServerConfig {
 		Tracer:             s.Tracer,
 		Seed:               s.Seed,
 	}
+	if s.Faults != nil {
+		cc.Faults = faultPlan(s)
+	}
+	return cc
 }
 
 // validateTrace checks a hand-authored trace workload: no sampler

@@ -32,12 +32,20 @@ var goldenScenario = Scenario{
 		Seconds:    30,
 		Prefix:     &PrefixConfig{Groups: 4, PrefixLen: 512, SharedFrac: 0.8},
 	},
+	BrownoutQueueDepth: 32,
 	Cluster: &ClusterSpec{
 		Instances:     2,
 		Routing:       "prefix-affinity",
 		MaxQueueDepth: 64,
 		TTFTSLOSec:    2,
 		TPOTSLOSec:    0.1,
+	},
+	Faults: &FaultsSpec{
+		Crashes:       []CrashSpec{{Instance: 1, AtSec: 10, DownSec: 5}},
+		Slowdowns:     []SlowdownSpec{{Instance: 2, AtSec: 4, DurSec: 6, Factor: 2.5}},
+		PCIeErrorRate: 0.01,
+		RetryBudget:   3,
+		RetryBaseMs:   50,
 	},
 	Gateway: &GatewaySpec{
 		Listen:           "127.0.0.1:8080",
@@ -211,6 +219,17 @@ func TestScenarioValidation(t *testing.T) {
 			s.Workload.CoT = true
 			s.Workload.Prefix = &PrefixConfig{Groups: 2, PrefixLen: 128, SharedFrac: 0.5}
 		},
+		"faults-no-cluster": func(s *Scenario) {
+			s.Faults = &FaultsSpec{Crashes: []CrashSpec{{Instance: 1, AtSec: 1}}}
+		},
+		"faults-bad-instance": func(s *Scenario) {
+			s.Cluster = &ClusterSpec{Instances: 2}
+			s.Faults = &FaultsSpec{Crashes: []CrashSpec{{Instance: 5, AtSec: 1}}}
+		},
+		"faults-bad-error-rate": func(s *Scenario) {
+			s.Cluster = &ClusterSpec{Instances: 2}
+			s.Faults = &FaultsSpec{PCIeErrorRate: 1.5}
+		},
 	} {
 		sc := base
 		mut(&sc)
@@ -259,5 +278,41 @@ func TestScenarioBuildShapes(t *testing.T) {
 		Workload:  WorkloadSpec{Bench: "GSM8K", Requests: 2}, Seed: 5}
 	if _, err := prec.Build(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestScenarioFaultsDeterministic: a chaos scenario is an experiment
+// like any other — building and running the same spec twice reproduces
+// the identical metrics, crashes included, and every dispatched request
+// reaches a terminal state.
+func TestScenarioFaultsDeterministic(t *testing.T) {
+	sc := Scenario{Model: "Llama3-8B", Method: "vLLM", MaxGenLen: 256,
+		Workload: WorkloadSpec{Bench: "MATH", Requests: 16},
+		Cluster:  &ClusterSpec{Instances: 2, Routing: "least-loaded"},
+		Faults: &FaultsSpec{
+			Crashes: []CrashSpec{{Instance: 1, AtSec: 1, DownSec: 2}},
+		},
+		Seed: 9,
+	}
+	run := func() ClusterMetrics {
+		st, err := sc.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := st.Cluster.Run(st.Requests())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	a, b := run(), run()
+	if a.Crashes != 1 || a.Restarts != 1 {
+		t.Fatalf("crashes/restarts %d/%d, want 1/1", a.Crashes, a.Restarts)
+	}
+	if a.Stuck() != 0 {
+		t.Fatalf("liveness violated: %d requests unaccounted", a.Stuck())
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("chaos scenario not reproducible:\n got %+v\nand %+v", a, b)
 	}
 }
