@@ -21,6 +21,7 @@ import (
 	"diffkv/internal/benchkernels"
 	"diffkv/internal/experiments"
 	"diffkv/internal/offload"
+	"diffkv/internal/telemetry"
 )
 
 // KernelResult is one micro-benchmark measurement.
@@ -85,6 +86,37 @@ type ServingHotPathResult struct {
 	SimTokensPerSec float64 `json:"sim_tokens_per_sec"`
 }
 
+// TelemetryOverheadRow compares one Loop hot-path mode with and
+// without a telemetry center attached (100ms sim-time sampling — 10x
+// the default cadence — one SLO, saturation analyzer on: the full
+// tick, not a stub). OverheadPct attributes the measured per-sample
+// cost (samples x sample_ns_per_op) to the sampled run's wall time;
+// a direct steps/sec diff is dominated by open-order scheduling noise
+// on sub-second runs (step counts themselves vary across reps), so
+// both raw rates are recorded but the attribution is the gate number.
+// The acceptance target is <2% on the manager (DiffKV) row — the
+// realistic serving path. The traits row is reported for context but
+// exempt by construction: that microbench simulates ~1e5x real time
+// (454 sim-seconds in ~4ms), so per-sim-second sampling there costs
+// more than the entire simulator and no sim-cadence scheme can pass.
+type TelemetryOverheadRow struct {
+	Mode               string  `json:"mode"`
+	BaseStepsPerSec    float64 `json:"base_steps_per_sec"`
+	SampledStepsPerSec float64 `json:"sampled_steps_per_sec"`
+	Samples            int64   `json:"samples"`
+	SampledWallMs      float64 `json:"sampled_wall_ms"`
+	OverheadPct        float64 `json:"overhead_pct"`
+}
+
+// TelemetryPerf records the telemetry center's cost: the idle Due
+// gate and a full Sample tick in isolation (ns/op), and the Loop
+// workload re-run with sampling enabled.
+type TelemetryPerf struct {
+	DueNsPerOp    float64                `json:"due_ns_per_op"`
+	SampleNsPerOp float64                `json:"sample_ns_per_op"`
+	LoopOverhead  []TelemetryOverheadRow `json:"loop_overhead"`
+}
+
 // PerfSnapshot is the full -json payload.
 type PerfSnapshot struct {
 	GoVersion   string             `json:"go_version"`
@@ -112,6 +144,9 @@ type PerfSnapshot struct {
 	// steps/sec must stay at least at the caller-driven level, or the
 	// loop's lock/wakeup machinery has become the bottleneck.
 	LoopHotPath []ServingHotPathResult `json:"loop_hot_path"`
+	// Telemetry records the sampling cost of the PR 8 telemetry center
+	// against the LoopHotPath baselines.
+	Telemetry TelemetryPerf `json:"telemetry"`
 }
 
 // runServingHotPath measures both engine modes through the full v2
@@ -230,6 +265,129 @@ func runLoopHotPath(seed uint64) ([]ServingHotPathResult, error) {
 	return out, nil
 }
 
+// measureTelemetry isolates the telemetry center's per-call cost: the
+// Due gate at its not-yet-due steady state (what every Loop step pays)
+// and a full Sample tick over a 4-instance observation with the
+// analyzer and one SLO active (what a due tick pays).
+func measureTelemetry() (dueNs, sampleNs float64) {
+	mkObs := func(t float64) telemetry.Observation {
+		o := telemetry.Observation{
+			TimeUs:                 t,
+			ThroughputTokensPerSec: 900,
+			GoodputTokensPerSec:    850,
+			InstancesUp:            4,
+		}
+		for i := 1; i <= 4; i++ {
+			o.PerInstance = append(o.PerInstance, telemetry.InstanceObservation{
+				Inst: i, QueueDepth: 3, Running: 8,
+				UsedKVPages: 400, FreeKVPages: 100,
+				ResidentTokens: 6000, MemoryTokens: 16000,
+				Health: "healthy",
+			})
+		}
+		return o
+	}
+	due := testing.Benchmark(func(b *testing.B) {
+		c := telemetry.New(telemetry.Config{SampleIntervalUs: 1e6})
+		c.Sample(mkObs(0))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if c.Due(1) { // just sampled at 0: never due again
+				b.Fatal("unexpected due")
+			}
+		}
+	})
+	sample := testing.Benchmark(func(b *testing.B) {
+		c := telemetry.New(telemetry.Config{
+			SampleIntervalUs: 1,
+			SLOs:             []telemetry.SLOSpec{{Metric: "ttft", Pctl: 95, TargetSec: 2}},
+		})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Sample(mkObs(float64(i + 1)))
+		}
+	})
+	perOp := func(r testing.BenchmarkResult) float64 {
+		return float64(r.T.Nanoseconds()) / float64(r.N)
+	}
+	return perOp(due), perOp(sample)
+}
+
+// measureTelemetryOverhead re-runs the Loop hot path with a
+// full-featured telemetry center sampling every 100 simulated ms and
+// attributes the measured per-sample cost to each run's wall time
+// (see TelemetryOverheadRow for why that beats a steps/sec diff).
+func measureTelemetryOverhead(seed uint64, base []ServingHotPathResult, sampleNs float64) ([]TelemetryOverheadRow, error) {
+	var out []TelemetryOverheadRow
+	for i, mode := range []struct {
+		label, method string
+	}{
+		{"loop-traits-vLLM", "vLLM"},
+		{"loop-manager-DiffKV", "DiffKV"},
+	} {
+		var best TelemetryOverheadRow
+		for rep := 0; rep < 3; rep++ {
+			sc := diffkv.Scenario{
+				Model: "Llama3-8B", Method: mode.method, MemFrac: 0.3,
+				MaxGenLen: 1024,
+				Workload:  diffkv.WorkloadSpec{Bench: "MATH", Requests: 32},
+				Seed:      seed,
+				Observability: &diffkv.ObservabilitySpec{
+					SampleIntervalMs: 100,
+					Saturation:       &diffkv.SaturationConfig{},
+					SLOs:             []diffkv.SLOSpec{{Metric: "ttft", Pctl: 95, TargetSec: 2}},
+				},
+			}
+			st, err := sc.Build()
+			if err != nil {
+				return nil, err
+			}
+			reqs := st.Requests()
+			start := time.Now()
+			loop := st.StartLoop(diffkv.LoopConfig{})
+			var wg sync.WaitGroup
+			sessions := make([]*diffkv.Session, len(reqs))
+			errs := make([]error, len(reqs))
+			for i, r := range reqs {
+				wg.Add(1)
+				go func(i int, r diffkv.Request) {
+					defer wg.Done()
+					sessions[i], errs[i] = loop.Open(context.Background(), r, nil)
+				}(i, r)
+			}
+			wg.Wait()
+			for _, err := range errs {
+				if err != nil {
+					return nil, err
+				}
+			}
+			for _, s := range sessions {
+				<-s.Done()
+			}
+			if err := loop.Shutdown(context.Background()); err != nil {
+				return nil, err
+			}
+			wall := time.Since(start)
+			m := loop.Metrics()
+			r := TelemetryOverheadRow{
+				Mode:               mode.label,
+				SampledStepsPerSec: float64(m.Steps) / wall.Seconds(),
+				Samples:            st.Telemetry.Snapshot().Samples,
+				SampledWallMs:      float64(wall.Microseconds()) / 1e3,
+			}
+			if rep == 0 || r.SampledStepsPerSec > best.SampledStepsPerSec {
+				best = r
+			}
+		}
+		if i < len(base) {
+			best.BaseStepsPerSec = base[i].StepsPerSec
+		}
+		best.OverheadPct = 100 * float64(best.Samples) * sampleNs / (best.SampledWallMs * 1e6)
+		out = append(out, best)
+	}
+	return out, nil
+}
+
 // measureKernels runs every kernel micro-benchmark reps times and keeps
 // each kernel's best (minimum ns/op) run: a single run is exposed to
 // scheduler noise on a shared host — the BENCH_PR5 snapshot recorded a
@@ -326,6 +484,10 @@ func writePerfJSON(path string, seed uint64, workers int) error {
 		return err
 	}
 	snap.LoopHotPath = loopHot
+	snap.Telemetry.DueNsPerOp, snap.Telemetry.SampleNsPerOp = measureTelemetry()
+	if snap.Telemetry.LoopOverhead, err = measureTelemetryOverhead(seed, loopHot, snap.Telemetry.SampleNsPerOp); err != nil {
+		return err
+	}
 	data, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
 		return err

@@ -111,6 +111,13 @@ func main() {
 		col = diffkv.NewTraceCollector(obs.TraceEvents)
 		sc.Tracer = col
 	}
+	// -debug enables the telemetry center even without an explicit
+	// observability.slos/saturation/sample_interval_ms section, so the
+	// /debug/telemetry routes and diffkv-top always have data to show
+	if obs.Debug && !obs.Telemetry() {
+		obs.SampleIntervalMs = 1000
+	}
+	sc.Observability = &obs
 
 	st, err := sc.Build()
 	if err != nil {
@@ -121,6 +128,8 @@ func main() {
 		Loop:             loop,
 		ModelName:        st.Model.Name,
 		DefaultMaxTokens: gw.DefaultMaxTokens,
+		Telemetry:        st.Telemetry,
+		Pprof:            obs.Debug,
 	}
 	if col != nil && obs.Debug {
 		apiCfg.Trace = col

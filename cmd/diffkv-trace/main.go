@@ -132,6 +132,14 @@ type failReason struct {
 	Count  int    `json:"count"`
 }
 
+// alertEntry is one telemetry alert (saturation advisory or SLO
+// burn-rate transition) in trace order.
+type alertEntry struct {
+	TimeMs float64 `json:"time_ms"`
+	Inst   int     `json:"inst,omitempty"`
+	Note   string  `json:"note"`
+}
+
 // report is the full analysis output.
 type report struct {
 	Events    int `json:"events"`
@@ -165,6 +173,9 @@ type report struct {
 	Redispatches  int          `json:"redispatches,omitempty"`
 	SwapRecovered int          `json:"swap_recovered,omitempty"`
 	FailReasons   []failReason `json:"fail_reasons,omitempty"`
+	// Alerts is the telemetry alert timeline (scale advisories and SLO
+	// burn-rate transitions) in emission order.
+	Alerts []alertEntry `json:"alerts,omitempty"`
 }
 
 // analyzeFaults reconstructs the fault-injection section: health
@@ -197,6 +208,10 @@ func analyzeFaults(rep *report, events []trace.Event) {
 			rep.SwapRecovered++
 		case trace.KindFail:
 			reasons[e.Note]++
+		case trace.KindAlert:
+			rep.Alerts = append(rep.Alerts, alertEntry{
+				TimeMs: e.TimeUs / 1e3, Inst: e.Inst, Note: e.Note,
+			})
 		}
 	}
 	for reason, n := range reasons {
@@ -360,6 +375,16 @@ func (r report) print() {
 		for _, s := range r.Storms {
 			fmt.Printf("  %.3f–%.3f ms: %d preemptions across %d requests\n",
 				s.StartMs, s.EndMs, s.Preemptions, s.Requests)
+		}
+	}
+	if len(r.Alerts) > 0 {
+		fmt.Printf("\nalert timeline:\n")
+		for _, a := range r.Alerts {
+			if a.Inst > 0 {
+				fmt.Printf("  %12.3f ms  inst %d  %s\n", a.TimeMs, a.Inst, a.Note)
+			} else {
+				fmt.Printf("  %12.3f ms  cluster %s\n", a.TimeMs, a.Note)
+			}
 		}
 	}
 	if len(r.Downtime) == 0 && r.CrashOrphans == 0 && len(r.FailReasons) == 0 {

@@ -38,6 +38,7 @@ import (
 	"diffkv/internal/quant"
 	"diffkv/internal/serving"
 	"diffkv/internal/synth"
+	"diffkv/internal/telemetry"
 	"diffkv/internal/trace"
 	"diffkv/internal/workload"
 )
@@ -341,6 +342,32 @@ func NewTraceCollector(capacity int) *TraceCollector { return trace.NewCollector
 // constants for the event vocabulary).
 type TraceEvent = trace.Event
 
+// TraceKind classifies a TraceEvent.
+type TraceKind = trace.Kind
+
+// The trace event vocabulary, re-exported so event streams can be
+// filtered without importing the internal trace package.
+const (
+	TraceKindOpen          = trace.KindOpen
+	TraceKindAdmit         = trace.KindAdmit
+	TraceKindFirstToken    = trace.KindFirstToken
+	TraceKindPromptStep    = trace.KindPromptStep
+	TraceKindGenStep       = trace.KindGenStep
+	TraceKindPreempt       = trace.KindPreempt
+	TraceKindSwapOut       = trace.KindSwapOut
+	TraceKindSwapIn        = trace.KindSwapIn
+	TraceKindHostPrefixHit = trace.KindHostPrefixHit
+	TraceKindComplete      = trace.KindComplete
+	TraceKindCancel        = trace.KindCancel
+	TraceKindDispatch      = trace.KindDispatch
+	TraceKindReject        = trace.KindReject
+	TraceKindHealth        = trace.KindHealth
+	TraceKindRetry         = trace.KindRetry
+	TraceKindRecover       = trace.KindRecover
+	TraceKindFail          = trace.KindFail
+	TraceKindAlert         = trace.KindAlert
+)
+
 // TracePhase classifies where a request's lifecycle time is spent; the
 // phase constants cover queue, prefill, decode and the preemption
 // phases stall / swapped.
@@ -458,3 +485,45 @@ var ErrLoopShutdown = serving.ErrLoopShutdown
 // ClusterServer. The caller must eventually call Shutdown to stop the
 // background goroutine.
 func NewLoop(d LoopDriver, cfg LoopConfig) *Loop { return serving.NewLoop(d, cfg) }
+
+// TelemetryCenter is the cluster-level observability core: per-instance
+// time-series rings sampled on a sim-time cadence, mergeable latency
+// histograms, a saturation analyzer with hysteretic scale advisories,
+// and multi-window SLO burn-rate alerts. Attach one to
+// LoopConfig.Telemetry (always-on serving) or
+// ClusterServerConfig.Telemetry (batch runs) — exactly one of the two.
+type TelemetryCenter = telemetry.Center
+
+// TelemetryConfig parameterizes a TelemetryCenter (cadence, ring
+// capacity, alert tracer, saturation tuning, SLOs).
+type TelemetryConfig = telemetry.Config
+
+// NewTelemetryCenter builds a telemetry center.
+func NewTelemetryCenter(cfg TelemetryConfig) *TelemetryCenter { return telemetry.New(cfg) }
+
+// TelemetrySnapshot is the full telemetry state at one instant — the
+// payload of the gateway's /debug/telemetry route and diffkv-top's
+// input.
+type TelemetrySnapshot = telemetry.Snapshot
+
+// TelemetryAlert is one emitted saturation advisory or SLO burn-rate
+// transition (also mirrored as an "alert" trace event).
+type TelemetryAlert = telemetry.Alert
+
+// SLOSpec declares one service-level objective for the telemetry
+// center: a latency percentile target (ttft/tpot/e2e) or a goodput
+// floor, evaluated as multi-window burn rates over sim time.
+type SLOSpec = telemetry.SLOSpec
+
+// SLOStatus is one objective's evaluated burn-rate state.
+type SLOStatus = telemetry.SLOStatus
+
+// SaturationConfig tunes the saturation analyzer: headroom waterlines,
+// hysteresis hold counts, advisory cooldown and the trend window.
+type SaturationConfig = telemetry.SatConfig
+
+// ReplayTelemetry reconstructs an offline telemetry snapshot from a
+// recorded trace event stream (queue/running occupancy, latency
+// histograms, swap totals and the alert timeline; capacity-derived
+// fields are unavailable offline).
+func ReplayTelemetry(events []TraceEvent) TelemetrySnapshot { return telemetry.Replay(events) }

@@ -20,6 +20,7 @@ import (
 	"diffkv/internal/faults"
 	"diffkv/internal/gpusim"
 	"diffkv/internal/serving"
+	"diffkv/internal/telemetry"
 	"diffkv/internal/trace"
 	"diffkv/internal/workload"
 )
@@ -67,7 +68,15 @@ type Config struct {
 	// Tracer receives cluster dispatch/reject events plus every
 	// instance's engine events, tagged with 1-based instance IDs.
 	Tracer trace.Tracer
-	Seed   uint64
+	// Telemetry, when set, is sampled on its sim-time cadence inside the
+	// single-threaded event loop (Run / StepNext) and fed every dispatch
+	// and completion — this is what makes a seeded batch run's alert
+	// timeline bit-identical across runs. Attach a Center to exactly one
+	// layer: here for batch runs, or serving.LoopConfig.Telemetry when a
+	// Loop drives the cluster (attaching to both double-counts
+	// completions).
+	Telemetry *telemetry.Center
+	Seed      uint64
 }
 
 func (c *Config) validate() error {
@@ -250,9 +259,11 @@ func (c *Cluster) Run(reqs []workload.Request) (Metrics, error) {
 			if err != nil {
 				return c.finishMetrics(), fmt.Errorf("cluster: instance %d: %w", pick, err)
 			}
-			for _, cp := range comps {
-				c.acc.complete(pick, cp)
+			for i := range comps {
+				comps[i].Inst = pick + 1
+				c.acc.complete(pick, comps[i])
 			}
+			c.recordTelemetry(comps)
 		}
 	}
 	return c.finishMetrics(), nil
@@ -268,6 +279,9 @@ func (c *Cluster) dispatch(r workload.Request) {
 		return
 	}
 	c.engines[idx].Submit(r)
+	if c.cfg.Telemetry != nil {
+		c.cfg.Telemetry.RecordOpen(r.PromptLen)
+	}
 	c.observe(r, idx)
 	c.acc.dispatch(idx, r)
 	c.emit(trace.Event{Kind: trace.KindDispatch, TimeUs: r.ArrivalUs, Seq: r.ID, Inst: idx + 1})
@@ -361,6 +375,9 @@ func (c *Cluster) Open(ctx context.Context, r workload.Request) (*serving.Sessio
 	// the engine may have auto-assigned the request ID and clamped the
 	// arrival time; observe and account the request as actually submitted
 	r = s.Request()
+	if c.cfg.Telemetry != nil {
+		c.cfg.Telemetry.RecordOpen(r.PromptLen)
+	}
 	c.observe(r, idx)
 	c.acc.dispatch(idx, r)
 	c.emit(trace.Event{Kind: trace.KindDispatch, TimeUs: r.ArrivalUs, Seq: r.ID, Inst: idx + 1})
@@ -415,12 +432,50 @@ func (c *Cluster) stepNext() ([]serving.Completion, bool, error) {
 	if err != nil {
 		return nil, true, fmt.Errorf("cluster: instance %d: %w", pick, err)
 	}
+	for i := range comps {
+		comps[i].Inst = pick + 1
+	}
 	if c.acc != nil {
 		for _, cp := range comps {
 			c.acc.complete(pick, cp)
 		}
 	}
+	c.recordTelemetry(comps)
 	return comps, true, nil
+}
+
+// Clock returns the latest simulated clock across instances.
+func (c *Cluster) Clock() gpusim.Micros {
+	var best gpusim.Micros
+	for _, e := range c.engines {
+		if t := e.Clock(); t > best {
+			best = t
+		}
+	}
+	return best
+}
+
+// recordTelemetry feeds the attached telemetry center (no-op without
+// one): completion latencies from this step, then a cadence sample when
+// one is due. Both run inside the event loop, so batch-run sampling is
+// deterministic.
+func (c *Cluster) recordTelemetry(comps []serving.Completion) {
+	tc := c.cfg.Telemetry
+	if tc == nil {
+		return
+	}
+	for _, cp := range comps {
+		ttft := (cp.FirstTokenUs - cp.Req.ArrivalUs) / 1e6
+		e2e := (cp.DoneUs - cp.Req.ArrivalUs) / 1e6
+		var tpot float64
+		if cp.Req.GenLen > 0 {
+			tpot = (cp.DoneUs - cp.FirstTokenUs) / 1e6 / float64(cp.Req.GenLen)
+		}
+		tc.RecordCompletion(cp.Inst, cp.DoneUs, ttft, tpot, e2e, cp.Req.GenLen)
+	}
+	if now := float64(c.Clock()); tc.Due(now) {
+		tc.Sample(serving.ObservationFromStats(c.Stats()))
+	}
 }
 
 // ReapSessions frees the state of context-cancelled sessions on every

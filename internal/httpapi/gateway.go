@@ -15,11 +15,13 @@ import (
 	"errors"
 	"math"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"time"
 
 	"diffkv/internal/cluster"
 	"diffkv/internal/serving"
+	"diffkv/internal/telemetry"
 	"diffkv/internal/trace"
 )
 
@@ -49,6 +51,16 @@ type Config struct {
 	// it enables the /debug routes (per-request span trees, Perfetto
 	// trace download, live event tail) and the trace health metrics.
 	Trace *trace.Collector
+	// Telemetry, when non-nil, is the telemetry center sampled by the
+	// serving loop; it enables GET /debug/telemetry (JSON snapshot),
+	// GET /debug/telemetry/stream (SSE), and the histogram/saturation/
+	// SLO series on /metrics.
+	Telemetry *telemetry.Center
+	// Pprof mounts net/http/pprof under /debug/pprof/ so CPU and heap
+	// profiles can be pulled while a load scenario runs. Gate it behind
+	// the same operator flag as the other debug routes — profiles expose
+	// process internals.
+	Pprof bool
 }
 
 // Gateway is the HTTP front-end. Construct with New, mount Handler.
@@ -90,6 +102,17 @@ func (g *Gateway) Handler() http.Handler {
 		mux.HandleFunc("/debug/requests/", g.handleDebugRequest)
 		mux.HandleFunc("/debug/trace", g.handleDebugTrace)
 		mux.HandleFunc("/debug/events", g.handleDebugEvents)
+	}
+	if g.cfg.Telemetry != nil {
+		mux.HandleFunc("/debug/telemetry", g.handleTelemetry)
+		mux.HandleFunc("/debug/telemetry/stream", g.handleTelemetryStream)
+	}
+	if g.cfg.Pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
 	return mux
 }

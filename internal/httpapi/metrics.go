@@ -3,9 +3,11 @@ package httpapi
 import (
 	"fmt"
 	"net/http"
+	"sort"
 	"strings"
 
 	"diffkv/internal/serving"
+	"diffkv/internal/telemetry"
 )
 
 // handleMetrics exports the loop and driver counters in Prometheus text
@@ -23,14 +25,20 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	gauge := func(name, help string, v float64) { metric(name, help, "gauge", v) }
 	counter := func(name, help string, v float64) { metric(name, help, "counter", v) }
-	// instGauge writes one family as an unlabeled fleet total plus one
+	// instMetric writes one family as an unlabeled fleet total plus one
 	// {inst="N"} series per serving instance (HELP/TYPE once).
-	instGauge := func(name, help string, total float64, per func(serving.InstanceStats) float64) {
-		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+	instMetric := func(name, help, typ string, total float64, per func(serving.InstanceStats) float64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
 		fmt.Fprintf(&b, "%s %g\n", name, total)
 		for _, is := range m.Driver.PerInstance {
 			fmt.Fprintf(&b, "%s{inst=\"%d\"} %g\n", name, is.Inst, per(is))
 		}
+	}
+	instGauge := func(name, help string, total float64, per func(serving.InstanceStats) float64) {
+		instMetric(name, help, "gauge", total, per)
+	}
+	instCounter := func(name, help string, total float64, per func(serving.InstanceStats) float64) {
+		instMetric(name, help, "counter", total, per)
 	}
 	summary := func(name, help string, s serving.LatencyStats, count int) {
 		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s summary\n", name, help, name)
@@ -50,7 +58,8 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("diffkv_requests_completed_total", "Requests completed.", float64(d.Completed))
 	counter("diffkv_requests_cancelled_total", "Sessions cancelled before completion (disconnects included).", float64(d.Cancelled))
 	counter("diffkv_requests_rejected_total", "Requests shed by cluster admission control.", float64(d.Rejected))
-	counter("diffkv_preemptions_total", "Preemption events (recompute and swap recoveries).", float64(d.Preemptions))
+	instCounter("diffkv_preemptions_total", "Preemption events, recompute and swap recoveries (unlabeled: fleet total; inst label: per instance).",
+		float64(d.Preemptions), func(is serving.InstanceStats) float64 { return float64(is.Preemptions) })
 	gauge("diffkv_instances", "Serving engine instances behind this gateway.", float64(d.Instances))
 	gauge("diffkv_sessions_open", "Sessions currently in flight.", float64(d.OpenSessions))
 	instGauge("diffkv_queue_depth", "Requests awaiting admission (unlabeled: fleet total; inst label: per instance).",
@@ -72,8 +81,10 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("diffkv_swap_recovered_total", "Sequences the host tier carried through a crash (resumed, not recomputed).", float64(d.SwapRecovered))
 	counter("diffkv_lost_kv_bytes_total", "GPU KV cache bytes destroyed by instance crashes.", float64(d.LostKVBytes))
 	counter("diffkv_brownout_admissions_total", "Admissions forced to the all-low compression tier under queue pressure.", float64(d.BrownoutAdmits))
-	counter("diffkv_swap_out_bytes_total", "Bytes swapped out to the host tier.", float64(d.SwapOutBytes))
-	counter("diffkv_swap_in_bytes_total", "Bytes swapped back in from the host tier.", float64(d.SwapInBytes))
+	instCounter("diffkv_swap_out_bytes_total", "Bytes swapped out to the host tier (unlabeled: fleet total; inst label: per instance).",
+		float64(d.SwapOutBytes), func(is serving.InstanceStats) float64 { return float64(is.SwapOutBytes) })
+	instCounter("diffkv_swap_in_bytes_total", "Bytes swapped back in from the host tier (unlabeled: fleet total; inst label: per instance).",
+		float64(d.SwapInBytes), func(is serving.InstanceStats) float64 { return float64(is.SwapInBytes) })
 	counter("diffkv_host_prefix_hits_total", "Prefix-cache entries served back from host memory.", float64(d.HostPrefixHits))
 	gauge("diffkv_throughput_tokens_per_sec", "Generated tokens per simulated second.", d.ThroughputTokensPerSec)
 	gauge("diffkv_goodput_tokens_per_sec", "Completed requests' tokens per simulated second.", d.GoodputTokensPerSec)
@@ -89,6 +100,9 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		gauge("diffkv_trace_events_retained", "Trace events currently held in the collector ring.", float64(g.cfg.Trace.Retained()))
 		counter("diffkv_trace_dropped_total", "Trace events evicted by the collector ring.", float64(g.cfg.Trace.Dropped()))
 	}
+	if tc := g.cfg.Telemetry; tc != nil {
+		g.writeTelemetryMetrics(&b, tc)
+	}
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.Write([]byte(b.String()))
@@ -99,4 +113,57 @@ func boolGauge(b bool) float64 {
 		return 1
 	}
 	return 0
+}
+
+// histStride thins the 70-bucket telemetry layout to every 5th bound
+// (~3.16x spacing, 14 exposition buckets) — plenty for recording rules
+// without inflating every scrape.
+const histStride = 5
+
+// writeTelemetryMetrics appends the telemetry-backed series: proper
+// cumulative latency histograms (the _hist suffix keeps them clear of
+// the summary families of the same base name, which Prometheus forbids
+// sharing; the summaries stay one release for compatibility), the
+// per-instance saturation headroom gauge, and the SLO burn-rate gauges.
+func (g *Gateway) writeTelemetryMetrics(b *strings.Builder, tc *telemetry.Center) {
+	hist := func(name, help string, h telemetry.Hist) {
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+		for _, bc := range h.CumulativeBuckets(histStride) {
+			fmt.Fprintf(b, "%s_bucket{le=\"%g\"} %d\n", name, bc.UpperSec, bc.Cumulative)
+		}
+		fmt.Fprintf(b, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count())
+		fmt.Fprintf(b, "%s_sum %g\n", name, h.Sum())
+		fmt.Fprintf(b, "%s_count %d\n", name, h.Count())
+	}
+	ttft, tpot, e2e := tc.LatencyHists()
+	hist("diffkv_ttft_seconds_hist", "Time to first token, cumulative histogram (simulated seconds; supersedes the diffkv_ttft_seconds summary).", ttft)
+	hist("diffkv_tpot_seconds_hist", "Time per output token after the first, cumulative histogram (simulated seconds; supersedes the diffkv_tpot_seconds summary).", tpot)
+	hist("diffkv_e2e_seconds_hist", "Arrival-to-completion latency, cumulative histogram (simulated seconds; supersedes the diffkv_e2e_seconds summary).", e2e)
+
+	sat := tc.SatByInst()
+	keys := make([]int, 0, len(sat))
+	for k := range sat {
+		if k != 0 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Ints(keys)
+	fmt.Fprintf(b, "# HELP diffkv_saturation_headroom Saturation headroom fraction, (capacity-demand)/capacity (unlabeled: cluster-wide; inst label: per instance).\n# TYPE diffkv_saturation_headroom gauge\n")
+	fmt.Fprintf(b, "diffkv_saturation_headroom %g\n", sat[0].Headroom)
+	for _, k := range keys {
+		fmt.Fprintf(b, "diffkv_saturation_headroom{inst=\"%d\"} %g\n", k, sat[k].Headroom)
+	}
+
+	slos := tc.SLOStatuses()
+	if len(slos) > 0 {
+		fmt.Fprintf(b, "# HELP diffkv_slo_burn_rate SLO error-budget burn rate per objective and evaluation window (1.0 = sustainable).\n# TYPE diffkv_slo_burn_rate gauge\n")
+		for _, s := range slos {
+			fmt.Fprintf(b, "diffkv_slo_burn_rate{metric=%q,window=\"fast\"} %g\n", s.Metric, s.FastBurn)
+			fmt.Fprintf(b, "diffkv_slo_burn_rate{metric=%q,window=\"slow\"} %g\n", s.Metric, s.SlowBurn)
+		}
+		fmt.Fprintf(b, "# HELP diffkv_slo_firing 1 while the objective's multi-window burn-rate alert is firing.\n# TYPE diffkv_slo_firing gauge\n")
+		for _, s := range slos {
+			fmt.Fprintf(b, "diffkv_slo_firing{metric=%q} %g\n", s.Metric, boolGauge(s.Firing))
+		}
+	}
 }

@@ -1,0 +1,104 @@
+package httpapi
+
+// Telemetry routes (mounted when Config.Telemetry is set): GET
+// /debug/telemetry returns the full telemetry snapshot — per-instance
+// occupancy and saturation, merged latency histograms, SLO burn rates
+// and the recent alert ring — as one JSON document, and GET
+// /debug/telemetry/stream pushes the same snapshot as SSE frames on a
+// wall-clock cadence. cmd/diffkv-top renders either.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// handleTelemetry serves GET /debug/telemetry: one snapshot, rendered
+// at request time from the center's current state.
+func (g *Gateway) handleTelemetry(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, "invalid_request_error", "GET only")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(g.cfg.Telemetry.Snapshot())
+}
+
+// streamIntervalBounds clamp the client-supplied ?interval_ms.
+const (
+	streamIntervalMin     = 100 * time.Millisecond
+	streamIntervalMax     = 30 * time.Second
+	streamIntervalDefault = time.Second
+)
+
+// handleTelemetryStream serves GET /debug/telemetry/stream: snapshot
+// frames as SSE, one per interval (?interval_ms, default 1000, clamped
+// to [100, 30000]). The stream ends when the client disconnects or the
+// loop stops; delivery is pull-based snapshots, so a slow client only
+// delays its own frames.
+func (g *Gateway) handleTelemetryStream(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, "invalid_request_error", "GET only")
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "server_error", "response writer cannot stream")
+		return
+	}
+	interval := streamIntervalDefault
+	if s := r.URL.Query().Get("interval_ms"); s != "" {
+		ms, err := strconv.Atoi(s)
+		if err != nil || ms <= 0 {
+			writeError(w, http.StatusBadRequest, "invalid_request_error",
+				fmt.Sprintf("bad interval_ms %q", s))
+			return
+		}
+		interval = time.Duration(ms) * time.Millisecond
+		if interval < streamIntervalMin {
+			interval = streamIntervalMin
+		}
+		if interval > streamIntervalMax {
+			interval = streamIntervalMax
+		}
+	}
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+
+	send := func() bool {
+		data, err := json.Marshal(g.cfg.Telemetry.Snapshot())
+		if err != nil {
+			return false
+		}
+		fmt.Fprintf(w, "data: %s\n\n", data)
+		flusher.Flush()
+		return true
+	}
+	if !send() {
+		return
+	}
+	for {
+		select {
+		case <-ticker.C:
+			if !send() {
+				return
+			}
+		case <-g.cfg.Loop.Done():
+			fmt.Fprint(w, "data: [DONE]\n\n")
+			flusher.Flush()
+			return
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

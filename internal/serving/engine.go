@@ -209,6 +209,10 @@ type Completion struct {
 	// ArrivalUs is preserved across re-dispatches, so TTFT/E2E honestly
 	// include the time lost to dead instances.
 	Attempts int
+	// Inst is the 1-based fleet instance that completed the request in
+	// cluster runs (the cluster stamps it when collecting completions);
+	// 0 from a bare engine.
+	Inst int
 }
 
 type seqState struct {
@@ -370,6 +374,20 @@ func (e *Engine) TokenCapacity() int {
 		return int(float64(e.mgr.FreePages()*e.cfg.PageBytes) / (perTok * float64(e.headsN)))
 	}
 	return e.capTok
+}
+
+// TotalTokenCapacity reports the engine's whole-pool token capacity —
+// free plus used pages at the blended tier mix in manager mode, the
+// fixed traits-mode budget otherwise. This is the memory axis of the
+// saturation analyzer's capacity = min(memory, compute); the engine has
+// no independent compute-token bound (admission is memory-gated via
+// fitsTokens), so memory capacity is the binding axis.
+func (e *Engine) TotalTokenCapacity() float64 {
+	if e.mgr != nil {
+		return float64((e.mgr.FreePages()+e.mgr.UsedPages())*e.cfg.PageBytes) /
+			(e.blendedTokenBytes() * float64(e.headsN))
+	}
+	return float64(e.capTok)
 }
 
 func (e *Engine) blendedTokenBytes() float64 {

@@ -8,6 +8,7 @@ import (
 
 	"diffkv/internal/gpusim"
 	"diffkv/internal/stats"
+	"diffkv/internal/telemetry"
 	"diffkv/internal/workload"
 )
 
@@ -112,6 +113,18 @@ type InstanceStats struct {
 	Health string
 	// Redispatched counts crash orphans this instance accepted.
 	Redispatched int
+	// ResidentTokens / SwappedTokens are the GPU-resident and host-tier
+	// KV token footprints; TokenCapacity is the whole-pool token budget
+	// (Engine.TotalTokenCapacity). Together they feed the saturation
+	// analyzer: demand = resident + swapped + queued×avg-prompt against
+	// capacity.
+	ResidentTokens int
+	SwappedTokens  int
+	TokenCapacity  float64
+	// Per-instance lifetime counters for {inst}-labelled exposition.
+	Preemptions  int
+	SwapOutBytes int64
+	SwapInBytes  int64
 }
 
 // LoopConfig parameterizes a Loop.
@@ -127,6 +140,11 @@ type LoopConfig struct {
 	// Opens wake the loop immediately; Poll only bounds the latency of
 	// external context cancellations. Default 2ms.
 	Poll time.Duration
+	// Telemetry, when set, receives opens, completion latencies and
+	// sim-time cadence samples from the loop. Attach a Center to exactly
+	// one layer — the Loop here, or cluster.Config.Telemetry for batch
+	// runs driven without a Loop — or completions are double-counted.
+	Telemetry *telemetry.Center
 }
 
 // LatencyStats summarizes a latency distribution in seconds. Mean is
@@ -297,6 +315,9 @@ func (l *Loop) Open(ctx context.Context, r workload.Request, onToken func(TokenU
 	if onToken != nil {
 		s.OnToken(onToken)
 	}
+	if l.cfg.Telemetry != nil {
+		l.cfg.Telemetry.RecordOpen(s.Request().PromptLen)
+	}
 	l.opened++
 	l.wakeup()
 	return s, nil
@@ -420,6 +441,11 @@ func (l *Loop) run() {
 			l.mu.Unlock()
 			return
 		}
+		// telemetry sampling rides the step cadence at sim time: Due is a
+		// cheap check, and only a due tick pays for the Stats walk
+		if tc := l.cfg.Telemetry; tc != nil && tc.Due(float64(t)) {
+			tc.Sample(ObservationFromStats(l.d.Stats()))
+		}
 		l.mu.Unlock()
 	}
 }
@@ -449,11 +475,24 @@ func (l *Loop) paceWait(t gpusim.Micros) time.Duration {
 func (l *Loop) record(comps []Completion) {
 	for _, cp := range comps {
 		l.completed++
-		l.ttft.add((cp.FirstTokenUs - cp.Req.ArrivalUs) / 1e6)
+		ttft := (cp.FirstTokenUs - cp.Req.ArrivalUs) / 1e6
+		e2e := (cp.DoneUs - cp.Req.ArrivalUs) / 1e6
+		var tpot float64
 		if cp.Req.GenLen > 0 {
-			l.tpot.add((cp.DoneUs - cp.FirstTokenUs) / 1e6 / float64(cp.Req.GenLen))
+			tpot = (cp.DoneUs - cp.FirstTokenUs) / 1e6 / float64(cp.Req.GenLen)
 		}
-		l.e2e.add((cp.DoneUs - cp.Req.ArrivalUs) / 1e6)
+		if tc := l.cfg.Telemetry; tc != nil {
+			inst := cp.Inst
+			if inst == 0 {
+				inst = 1 // bare engine: single-instance fleet
+			}
+			tc.RecordCompletion(inst, cp.DoneUs, ttft, tpot, e2e, cp.Req.GenLen)
+		}
+		l.ttft.add(ttft)
+		if cp.Req.GenLen > 0 {
+			l.tpot.add(tpot)
+		}
+		l.e2e.add(e2e)
 		l.phQueue.add(cp.Phases.QueueUs / 1e6)
 		l.phPrefill.add(cp.Phases.PrefillUs / 1e6)
 		l.phDecode.add(cp.Phases.DecodeUs / 1e6)
@@ -513,13 +552,19 @@ func (e *Engine) Stats() DriverStats {
 		ds.UsedKVPages = e.mgr.UsedPages()
 	}
 	ds.PerInstance = []InstanceStats{{
-		Inst:        1,
-		QueueDepth:  ds.QueueDepth,
-		Running:     ds.Running,
-		Swapped:     ds.Swapped,
-		FreeKVPages: ds.FreeKVPages,
-		UsedKVPages: ds.UsedKVPages,
-		Health:      "healthy",
+		Inst:           1,
+		QueueDepth:     ds.QueueDepth,
+		Running:        ds.Running,
+		Swapped:        ds.Swapped,
+		FreeKVPages:    ds.FreeKVPages,
+		UsedKVPages:    ds.UsedKVPages,
+		Health:         "healthy",
+		ResidentTokens: e.ResidentTokens(),
+		SwappedTokens:  e.SwappedTokens(),
+		TokenCapacity:  e.TotalTokenCapacity(),
+		Preemptions:    ds.Preemptions,
+		SwapOutBytes:   ds.SwapOutBytes,
+		SwapInBytes:    ds.SwapInBytes,
 	}}
 	return ds
 }

@@ -1,0 +1,159 @@
+package telemetry
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// exactQuantile is the reference the histogram is judged against: the
+// same nearest-rank-with-midpoint rule Quantile uses, on raw samples.
+func exactQuantile(sorted []float64, q float64) float64 {
+	rank := int(q * float64(len(sorted)-1))
+	return sorted[rank]
+}
+
+// TestHistQuantileAccuracy bounds the estimator error by the bucket
+// layout: with 10 buckets per decade, a quantile estimate and the exact
+// sample quantile differ by at most one bucket width (~26% relative).
+func TestHistQuantileAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var h Hist
+	samples := make([]float64, 0, 5000)
+	for i := 0; i < 5000; i++ {
+		// log-uniform over 1ms..10s — the latency range that matters
+		v := math.Pow(10, -3+4*rng.Float64())
+		samples = append(samples, v)
+		h.Add(v)
+	}
+	sort.Float64s(samples)
+	for _, q := range []float64{0.5, 0.9, 0.95, 0.99} {
+		got := h.Quantile(q)
+		want := exactQuantile(samples, q)
+		if ratio := got / want; ratio < 1/1.3 || ratio > 1.3 {
+			t.Fatalf("q%g: hist %g vs exact %g (ratio %.3f, want within 1.3x)", q, got, want, ratio)
+		}
+	}
+	if h.Count() != 5000 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	var sum float64
+	for _, v := range samples {
+		sum += v
+	}
+	if math.Abs(h.Mean()-sum/5000) > 1e-12 {
+		t.Fatalf("Mean = %g, want %g (mean is exact, not bucketed)", h.Mean(), sum/5000)
+	}
+}
+
+// TestHistMergeExact pins the merge contract: because every Hist shares
+// one bucket layout, merge-of-parts is bit-identical to a histogram fed
+// the concatenated stream — counts, sum, min/max, and every quantile.
+func TestHistMergeExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var h1, h2, all Hist
+	for i := 0; i < 2000; i++ {
+		v := math.Pow(10, -4+5*rng.Float64())
+		if i%3 == 0 {
+			h1.Add(v)
+		} else {
+			h2.Add(v)
+		}
+		all.Add(v)
+	}
+	var merged Hist
+	merged.Merge(&h1)
+	merged.Merge(&h2)
+	if merged.Count() != all.Count() {
+		t.Fatalf("merged count %d != combined %d", merged.Count(), all.Count())
+	}
+	// sums differ only by float addition order
+	if math.Abs(merged.Sum()-all.Sum()) > 1e-9*all.Sum() {
+		t.Fatalf("merged sum %g != combined %g", merged.Sum(), all.Sum())
+	}
+	if merged.min != all.min || merged.max != all.max {
+		t.Fatalf("merged min/max (%g, %g) != combined (%g, %g)",
+			merged.min, merged.max, all.min, all.max)
+	}
+	for q := 0.0; q <= 1.0; q += 0.05 {
+		if m, a := merged.Quantile(q), all.Quantile(q); m != a {
+			t.Fatalf("q%.2f: merged %g != combined %g", q, m, a)
+		}
+	}
+}
+
+// TestHistMergeEmpty: merging into or from an empty histogram must not
+// invent min/max.
+func TestHistMergeEmpty(t *testing.T) {
+	var a, b Hist
+	b.Add(0.5)
+	a.Merge(&b)
+	if a.Count() != 1 || a.min != 0.5 || a.max != 0.5 {
+		t.Fatalf("empty.Merge(one) = count %d min %g max %g", a.Count(), a.min, a.max)
+	}
+	var c Hist
+	a.Merge(&c) // merging an empty hist is a no-op
+	if a.Count() != 1 {
+		t.Fatalf("Merge(empty) changed count to %d", a.Count())
+	}
+}
+
+// TestHistUnderOverflow: observations outside the bucket span still
+// count, and quantiles clamp to the true observed extremes.
+func TestHistUnderOverflow(t *testing.T) {
+	var h Hist
+	h.Add(1e-6)  // under 100µs
+	h.Add(5e3)   // over 1000s
+	h.Add(0.010) // in range
+	if h.Count() != 3 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if got := h.Quantile(0); got != 1e-6 {
+		t.Fatalf("q0 = %g, want observed min 1e-6", got)
+	}
+	if got := h.Quantile(1); got != 5e3 {
+		t.Fatalf("q1 = %g, want observed max 5e3", got)
+	}
+}
+
+// TestHistEmptyQuantile: an empty histogram answers 0, not NaN.
+func TestHistEmptyQuantile(t *testing.T) {
+	var h Hist
+	if got := h.Quantile(0.99); got != 0 {
+		t.Fatalf("empty q99 = %g", got)
+	}
+	if got := h.Mean(); got != 0 {
+		t.Fatalf("empty mean = %g", got)
+	}
+}
+
+// TestCumulativeBuckets: exposition buckets are cumulative and
+// monotone, fold the underflow into the first bound, and account for
+// everything except the overflow tail (which the caller emits as +Inf).
+func TestCumulativeBuckets(t *testing.T) {
+	var h Hist
+	h.Add(1e-6) // underflow
+	for i := 0; i < 100; i++ {
+		h.Add(0.001 * float64(i+1)) // 1ms..100ms
+	}
+	h.Add(5e3) // overflow
+	bs := h.CumulativeBuckets(5)
+	if len(bs) != histBuckets/5 {
+		t.Fatalf("bucket count = %d, want %d", len(bs), histBuckets/5)
+	}
+	prev := int64(-1)
+	for _, b := range bs {
+		if b.Cumulative < prev {
+			t.Fatalf("cumulative counts not monotone: %v", bs)
+		}
+		prev = b.Cumulative
+	}
+	if bs[0].Cumulative < 1 {
+		t.Fatal("underflow not folded into first bound")
+	}
+	last := bs[len(bs)-1].Cumulative
+	if last != h.Count()-1 { // everything but the overflow sample
+		t.Fatalf("last bound cumulative = %d, want %d", last, h.Count()-1)
+	}
+}

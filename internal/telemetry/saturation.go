@@ -1,0 +1,180 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+)
+
+// Saturation analysis. Each sample tick the analyzer reduces an
+// instance's raw occupancy to a single headroom fraction
+//
+//	capacity = min(memory-token capacity, compute-token capacity)
+//	demand   = resident tokens + swapped tokens + queue-depth × avg-prompt
+//	headroom = clamp((capacity − demand) / capacity, 0, 1)
+//
+// and tracks it as a Series so the trend (slope) yields a time-to-
+// saturation estimate. Advisories are hysteretic on purpose: a waterline
+// crossing must persist for a hold count of consecutive samples and
+// advisories are rate-limited by a cooldown, so oscillating load near a
+// waterline cannot flap scale_up/scale_down signals — the autoscaler
+// consuming these (ROADMAP) would otherwise thrash.
+
+// SatConfig tunes the saturation analyzer. Zero values take defaults.
+type SatConfig struct {
+	// LowWater: headroom below this arms a scale_up advisory
+	// (default 0.15).
+	LowWater float64 `json:"low_water,omitempty"`
+	// HighWater: headroom above this arms a scale_down advisory
+	// (default 0.60). Must exceed LowWater; the gap is the hysteresis
+	// dead band.
+	HighWater float64 `json:"high_water,omitempty"`
+	// UpHold / DownHold: consecutive below/above samples required before
+	// an advisory fires (defaults 3 and 10 — scale-up reacts fast,
+	// scale-down waits for sustained slack).
+	UpHold   int `json:"up_hold,omitempty"`
+	DownHold int `json:"down_hold,omitempty"`
+	// CooldownUs: minimum sim time between advisories for one key
+	// (default 30s).
+	CooldownUs float64 `json:"cooldown_us,omitempty"`
+	// SlopeWindow: samples in the least-squares trend window
+	// (default 30).
+	SlopeWindow int `json:"slope_window,omitempty"`
+}
+
+func (c SatConfig) withDefaults() SatConfig {
+	if c.LowWater <= 0 {
+		c.LowWater = 0.15
+	}
+	if c.HighWater <= 0 {
+		c.HighWater = 0.60
+	}
+	if c.HighWater <= c.LowWater {
+		c.HighWater = c.LowWater + 0.1
+	}
+	if c.UpHold <= 0 {
+		c.UpHold = 3
+	}
+	if c.DownHold <= 0 {
+		c.DownHold = 10
+	}
+	if c.CooldownUs <= 0 {
+		c.CooldownUs = 30e6
+	}
+	if c.SlopeWindow <= 0 {
+		c.SlopeWindow = 30
+	}
+	return c
+}
+
+// satState is the per-key (instance; 0 = cluster) analyzer memory.
+type satState struct {
+	headroom    *Series
+	belowN      int
+	aboveN      int
+	nextAllowUs float64
+	advisory    string // latest standing advisory: "", scale_up, scale_down
+}
+
+// Analyzer turns headroom samples into hysteretic advisories.
+type Analyzer struct {
+	cfg    SatConfig
+	states map[int]*satState
+	cap    int
+}
+
+// NewAnalyzer creates an analyzer; seriesCapacity bounds the per-key
+// headroom history.
+func NewAnalyzer(cfg SatConfig, seriesCapacity int) *Analyzer {
+	return &Analyzer{cfg: cfg.withDefaults(), states: map[int]*satState{}, cap: seriesCapacity}
+}
+
+// Headroom computes the saturation headroom fraction from capacity and
+// demand in token units. Zero/unknown capacity reports full headroom
+// (nothing to saturate — e.g. traits-mode engines without a KV manager).
+func Headroom(capacityTokens, demandTokens float64) float64 {
+	if capacityTokens <= 0 {
+		return 1
+	}
+	return clamp((capacityTokens-demandTokens)/capacityTokens, 0, 1)
+}
+
+// SatSample is one analyzer verdict, returned to the Center for
+// snapshotting and (when Advisory is non-empty) alert emission.
+type SatSample struct {
+	Headroom float64
+	// SlopePerSec is the headroom trend (fraction per second, negative
+	// when filling up).
+	SlopePerSec float64
+	// TimeToSaturationSec extrapolates the trend to headroom 0
+	// (0 when not trending toward saturation).
+	TimeToSaturationSec float64
+	// Advisory is "scale_up" or "scale_down" when this sample fired an
+	// advisory, empty otherwise.
+	Advisory string
+	// Standing is the latest advisory on record for the key ("" before
+	// any fired) — the snapshot surface shows this between firings.
+	Standing string
+}
+
+// Observe folds one headroom sample for key (1-based instance, 0 =
+// cluster-wide) at sim time nowUs and applies the hysteresis state
+// machine.
+func (a *Analyzer) Observe(nowUs float64, key int, headroom float64) SatSample {
+	st := a.states[key]
+	if st == nil {
+		st = &satState{headroom: NewSeries(a.cap)}
+		a.states[key] = st
+	}
+	st.headroom.Add(nowUs, headroom)
+
+	out := SatSample{Headroom: headroom}
+	out.SlopePerSec = st.headroom.Slope(a.cfg.SlopeWindow)
+	if out.SlopePerSec < -1e-9 && headroom > 0 {
+		out.TimeToSaturationSec = headroom / -out.SlopePerSec
+	}
+
+	switch {
+	case headroom < a.cfg.LowWater:
+		st.belowN++
+		st.aboveN = 0
+		if st.belowN >= a.cfg.UpHold && nowUs >= st.nextAllowUs && st.advisory != "scale_up" {
+			st.advisory = "scale_up"
+			st.nextAllowUs = nowUs + a.cfg.CooldownUs
+			out.Advisory = "scale_up"
+		}
+	case headroom > a.cfg.HighWater:
+		st.aboveN++
+		st.belowN = 0
+		if st.aboveN >= a.cfg.DownHold && nowUs >= st.nextAllowUs && st.advisory != "scale_down" {
+			st.advisory = "scale_down"
+			st.nextAllowUs = nowUs + a.cfg.CooldownUs
+			out.Advisory = "scale_down"
+		}
+	default:
+		// dead band: decay the hold counters so a brief excursion
+		// followed by recovery does not keep an advisory armed
+		st.belowN = 0
+		st.aboveN = 0
+	}
+	out.Standing = st.advisory
+	return out
+}
+
+// HeadroomSeries exposes a key's headroom history (nil if never
+// observed) for snapshot sparklines.
+func (a *Analyzer) HeadroomSeries(key int) *Series {
+	st := a.states[key]
+	if st == nil {
+		return nil
+	}
+	return st.headroom
+}
+
+// renderAdvisory formats the deterministic alert note, e.g.
+// "scale_up headroom=0.082 tts=12.3s".
+func renderAdvisory(s SatSample) string {
+	if s.TimeToSaturationSec > 0 && !math.IsInf(s.TimeToSaturationSec, 1) {
+		return fmt.Sprintf("%s headroom=%.3f tts=%.1fs", s.Advisory, s.Headroom, s.TimeToSaturationSec)
+	}
+	return fmt.Sprintf("%s headroom=%.3f", s.Advisory, s.Headroom)
+}

@@ -1,0 +1,152 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHeadroom(t *testing.T) {
+	cases := []struct {
+		cap, demand, want float64
+	}{
+		{0, 100, 1},    // unknown capacity: nothing to saturate
+		{100, 0, 1},    // idle
+		{100, 50, 0.5}, // half full
+		{100, 100, 0},  // exactly full
+		{100, 250, 0},  // oversubscribed clamps at 0
+	}
+	for _, c := range cases {
+		if got := Headroom(c.cap, c.demand); got != c.want {
+			t.Fatalf("Headroom(%g, %g) = %g, want %g", c.cap, c.demand, got, c.want)
+		}
+	}
+}
+
+// observeRun feeds a headroom trajectory at 1s cadence and collects the
+// advisories that fired.
+func observeRun(a *Analyzer, key int, startUs float64, headrooms []float64) []string {
+	var fired []string
+	for i, hr := range headrooms {
+		s := a.Observe(startUs+float64(i)*1e6, key, hr)
+		if s.Advisory != "" {
+			fired = append(fired, s.Advisory)
+		}
+	}
+	return fired
+}
+
+// TestAnalyzerNoFlapOnOscillation is the hysteresis contract: load
+// oscillating across the low waterline every sample never holds below
+// it long enough to fire, because the dead band resets the counters.
+func TestAnalyzerNoFlapOnOscillation(t *testing.T) {
+	a := NewAnalyzer(SatConfig{LowWater: 0.15, HighWater: 0.60, UpHold: 3, DownHold: 10}, 64)
+	traj := make([]float64, 100)
+	for i := range traj {
+		if i%2 == 0 {
+			traj[i] = 0.10 // below low water
+		} else {
+			traj[i] = 0.30 // dead band
+		}
+	}
+	if fired := observeRun(a, 1, 0, traj); len(fired) != 0 {
+		t.Fatalf("oscillating load fired %v, want none", fired)
+	}
+}
+
+// TestAnalyzerScaleUpOnce: sustained saturation fires exactly one
+// scale_up — not one per sample — and sustained recovery later fires
+// exactly one scale_down.
+func TestAnalyzerScaleUpOnce(t *testing.T) {
+	a := NewAnalyzer(SatConfig{UpHold: 3, DownHold: 5, CooldownUs: 1}, 64)
+	low := make([]float64, 30)
+	for i := range low {
+		low[i] = 0.05
+	}
+	fired := observeRun(a, 1, 0, low)
+	if len(fired) != 1 || fired[0] != "scale_up" {
+		t.Fatalf("sustained low headroom fired %v, want [scale_up]", fired)
+	}
+
+	high := make([]float64, 30)
+	for i := range high {
+		high[i] = 0.95
+	}
+	fired = observeRun(a, 1, 30e6, high)
+	if len(fired) != 1 || fired[0] != "scale_down" {
+		t.Fatalf("sustained recovery fired %v, want [scale_down]", fired)
+	}
+}
+
+// TestAnalyzerCooldown: a recovery inside the cooldown window must wait
+// for it to expire even after DownHold is satisfied.
+func TestAnalyzerCooldown(t *testing.T) {
+	a := NewAnalyzer(SatConfig{UpHold: 3, DownHold: 5, CooldownUs: 30e6}, 64)
+	// 3 low samples at t=0,1,2s: scale_up fires at t=2s, cooldown to 32s
+	if fired := observeRun(a, 1, 0, []float64{0.05, 0.05, 0.05}); len(fired) != 1 {
+		t.Fatalf("setup fired %v", fired)
+	}
+	// recovery from t=3s: DownHold satisfied at 7s, but cooldown holds
+	// the advisory until t >= 32s
+	high := make([]float64, 40)
+	for i := range high {
+		high[i] = 0.95
+	}
+	var firedAtUs float64
+	for i, hr := range high {
+		now := 3e6 + float64(i)*1e6
+		if s := a.Observe(now, 1, hr); s.Advisory != "" {
+			firedAtUs = now
+			break
+		}
+	}
+	if firedAtUs < 32e6 {
+		t.Fatalf("scale_down fired at %.0fus, inside the 30s cooldown", firedAtUs)
+	}
+}
+
+// TestAnalyzerKeysIndependent: per-instance state must not bleed —
+// instance 1 saturating cannot arm instance 2.
+func TestAnalyzerKeysIndependent(t *testing.T) {
+	a := NewAnalyzer(SatConfig{UpHold: 3, CooldownUs: 1}, 64)
+	for i := 0; i < 10; i++ {
+		now := float64(i) * 1e6
+		a.Observe(now, 1, 0.05)
+		if s := a.Observe(now, 2, 0.40); s.Advisory != "" {
+			t.Fatalf("instance 2 fired %q from instance 1's saturation", s.Advisory)
+		}
+	}
+	if a.states[1].advisory != "scale_up" {
+		t.Fatal("instance 1 never fired")
+	}
+}
+
+// TestAnalyzerTimeToSaturation: a linearly draining headroom projects
+// the crossing time from its slope.
+func TestAnalyzerTimeToSaturation(t *testing.T) {
+	a := NewAnalyzer(SatConfig{SlopeWindow: 10}, 64)
+	var last SatSample
+	// headroom falls 0.01 per second from 1.0
+	for i := 0; i < 20; i++ {
+		last = a.Observe(float64(i)*1e6, 1, 1.0-0.01*float64(i))
+	}
+	// at headroom 0.81 and slope -0.01/s, saturation is ~81s out
+	if last.TimeToSaturationSec < 75 || last.TimeToSaturationSec > 87 {
+		t.Fatalf("TimeToSaturationSec = %g, want ~81", last.TimeToSaturationSec)
+	}
+	if last.SlopePerSec > -0.009 || last.SlopePerSec < -0.011 {
+		t.Fatalf("SlopePerSec = %g, want ~-0.01", last.SlopePerSec)
+	}
+}
+
+// TestRenderAdvisory pins the deterministic alert note format the
+// pinned scenario tests grep for.
+func TestRenderAdvisory(t *testing.T) {
+	got := renderAdvisory(SatSample{Advisory: "scale_up", Headroom: 0.082, TimeToSaturationSec: 12.34})
+	if got != "scale_up headroom=0.082 tts=12.3s" {
+		t.Fatalf("renderAdvisory = %q", got)
+	}
+	got = renderAdvisory(SatSample{Advisory: "scale_down", Headroom: 0.9})
+	if !strings.HasPrefix(got, "scale_down headroom=0.900") {
+		t.Fatalf("renderAdvisory = %q", got)
+	}
+}

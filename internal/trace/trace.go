@@ -59,6 +59,14 @@ const (
 	KindRetry   Kind = "retry"
 	KindRecover Kind = "recover"
 	KindFail    Kind = "fail"
+	// KindAlert is a telemetry signal (internal/telemetry): a saturation
+	// scale-up/down advisory or an SLO burn-rate alert. Seq is 0 (it is a
+	// fleet event, not a request event); Inst is the 1-based instance for
+	// per-instance advisories, 0 for cluster-wide signals; Note carries
+	// the rendered alert ("scale_up headroom=0.082", "slo_burn ttft
+	// fast=3.10 slow=2.41"). The autoscaling layer consumes these instead
+	// of re-deriving saturation from raw counters.
+	KindAlert Kind = "alert"
 )
 
 // Event is one traced occurrence.

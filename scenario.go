@@ -169,8 +169,47 @@ type ObservabilitySpec struct {
 	// events as a Perfetto trace-event file there on shutdown.
 	PerfettoPath string `json:"perfetto_path,omitempty"`
 	// Debug mounts the gateway's /debug routes (per-request span trees,
-	// trace download, live event tail).
+	// trace download, live event tail) and, with it, net/http/pprof
+	// under /debug/pprof/.
 	Debug bool `json:"debug,omitempty"`
+	// SampleIntervalMs is the telemetry sampling cadence in simulated
+	// milliseconds (default 1000). Samples ride the driver's step loop
+	// at sim time, so a seeded run's telemetry timeline is
+	// deterministic.
+	SampleIntervalMs float64 `json:"sample_interval_ms,omitempty"`
+	// SeriesCapacity bounds each telemetry time-series ring
+	// (default 512).
+	SeriesCapacity int `json:"series_capacity,omitempty"`
+	// SLOs declares the objectives the telemetry center evaluates with
+	// multi-window burn rates (see SLOSpec); burn-rate transitions emit
+	// alert trace events and drive the diffkv_slo_* gauges.
+	SLOs []SLOSpec `json:"slos,omitempty"`
+	// Saturation overrides the saturation analyzer's waterlines and
+	// hysteresis holds.
+	Saturation *SaturationConfig `json:"saturation,omitempty"`
+}
+
+// Telemetry reports whether the spec asks for the telemetry center (an
+// SLO section, a saturation section, or an explicit cadence).
+func (o *ObservabilitySpec) Telemetry() bool {
+	return o != nil && (len(o.SLOs) > 0 || o.Saturation != nil || o.SampleIntervalMs > 0)
+}
+
+// TelemetryConfig translates the observability section into a telemetry
+// center configuration. tr (usually the scenario's trace collector)
+// receives the alert events; nil keeps alerts snapshot-only.
+func (o *ObservabilitySpec) TelemetryConfig(tr Tracer) TelemetryConfig {
+	cfg := TelemetryConfig{Tracer: tr}
+	if o == nil {
+		return cfg
+	}
+	cfg.SampleIntervalUs = o.SampleIntervalMs * 1e3
+	cfg.SeriesCapacity = o.SeriesCapacity
+	cfg.SLOs = o.SLOs
+	if o.Saturation != nil {
+		cfg.Saturation = *o.Saturation
+	}
+	return cfg
 }
 
 // Scenario is one complete serving configuration. Zero values select the
@@ -248,6 +287,12 @@ type Stack struct {
 	Method    Method
 	Server    *Server
 	Cluster   *ClusterServer
+	// Telemetry is the telemetry center Build created when the
+	// observability section asked for one (SLOs, saturation tuning, or an
+	// explicit cadence). Cluster builds attach it at the cluster layer;
+	// single-instance builds leave it for StartLoop to attach to the Loop
+	// — exactly one layer ever samples into it.
+	Telemetry *TelemetryCenter
 }
 
 // StartLoop starts the always-on driver over the stack's server or
@@ -256,7 +301,12 @@ type Stack struct {
 // Shutdown. The caller must eventually call Shutdown.
 func (st *Stack) StartLoop(cfg LoopConfig) *Loop {
 	if st.Cluster != nil {
+		// a cluster build's telemetry center is already attached at the
+		// cluster layer — attaching it to the Loop too would double-count
 		return NewLoop(st.Cluster, cfg)
+	}
+	if cfg.Telemetry == nil {
+		cfg.Telemetry = st.Telemetry
 	}
 	return NewLoop(st.Server, cfg)
 }
@@ -349,6 +399,13 @@ func (s Scenario) build(construct bool) (*Stack, error) {
 		// re-dispatch); a single server has no survivors to re-dispatch to
 		return nil, fmt.Errorf("diffkv: scenario: faults require a cluster section")
 	}
+	if o := s.Observability; o != nil {
+		for i, slo := range o.SLOs {
+			if err := slo.Validate(); err != nil {
+				return nil, fmt.Errorf("diffkv: scenario: observability.slos[%d]: %w", i, err)
+			}
+		}
+	}
 
 	ec := ServerConfig{
 		Model:              st.Model,
@@ -402,8 +459,14 @@ func (s Scenario) build(construct bool) (*Stack, error) {
 		return st, nil
 	}
 
+	if o := s.Observability; o.Telemetry() {
+		st.Telemetry = NewTelemetryCenter(o.TelemetryConfig(s.Tracer))
+	}
+
 	if s.Cluster != nil {
-		if st.Cluster, err = NewClusterServer(clusterConfig(s, ec)); err != nil {
+		cc := clusterConfig(s, ec)
+		cc.Telemetry = st.Telemetry
+		if st.Cluster, err = NewClusterServer(cc); err != nil {
 			return nil, err
 		}
 	} else {

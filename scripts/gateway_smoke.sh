@@ -65,6 +65,40 @@ printf '%s\n' "$METRICS" | grep '^diffkv_trace_events_retained '
 printf '%s\n' "$METRICS" | grep '^diffkv_trace_dropped_total '
 printf '%s\n' "$METRICS" | grep 'diffkv_queue_depth{inst="1"}'
 printf '%s\n' "$METRICS" | grep 'diffkv_phase_decode_seconds{quantile="0.5"}'
+# telemetry exposition: cumulative histograms, saturation and SLO gauges
+printf '%s\n' "$METRICS" | grep 'diffkv_ttft_seconds_hist_bucket{le="+Inf"}'
+printf '%s\n' "$METRICS" | grep '^diffkv_ttft_seconds_hist_count '
+printf '%s\n' "$METRICS" | grep '^diffkv_saturation_headroom '
+printf '%s\n' "$METRICS" | grep 'diffkv_saturation_headroom{inst="1"}'
+printf '%s\n' "$METRICS" | grep 'diffkv_slo_burn_rate{metric="ttft",window="fast"}'
+printf '%s\n' "$METRICS" | grep 'diffkv_slo_firing{metric="goodput"}'
+printf '%s\n' "$METRICS" | grep 'diffkv_preemptions_total{inst="1"}'
+
+# the telemetry snapshot the dashboard polls
+TEL="$(curl -fsS "http://$ADDR/debug/telemetry")"
+printf '%s\n' "$TEL" | grep -q '"cluster"'
+printf '%s\n' "$TEL" | grep -q '"headroom"'
+printf '%s\n' "$TEL" | grep -q '"slos"'
+printf '%s\n' "$TEL" | grep -q '"metric":"ttft"'
+
+# one SSE telemetry frame (curl exits 28 when the stream outlives the
+# timeout — expected; we only need the first frame)
+FRAME="$(curl -sS -N --max-time 2 "http://$ADDR/debug/telemetry/stream?interval_ms=200" || true)"
+printf '%s\n' "$FRAME" | head -1 | grep -q '^data: {'
+
+# pprof rides behind the same debug gate
+curl -fsS "http://$ADDR/debug/pprof/cmdline" >/dev/null
+
+# diffkv-top renders a live frame (-once) against the running gateway
+go build -o "$TMP/diffkv-top" ./cmd/diffkv-top
+"$TMP/diffkv-top" -once -url "http://$ADDR" | tee "$TMP/top.txt"
+grep -q 'diffkv-top — live' "$TMP/top.txt"
+grep -q 'headroom' "$TMP/top.txt"
+grep -q 'slo' "$TMP/top.txt"
+
+# ... and an offline frame from the Perfetto-exported trace
+"$TMP/diffkv-top" -trace "$TMP/trace.json" | tee "$TMP/top_offline.txt"
+grep -q 'offline replay' "$TMP/top_offline.txt"
 
 # clean shutdown: SIGINT drains and the process exits 0
 kill -INT "$PID"
