@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"diffkv"
+	"diffkv/internal/analysis"
 	"diffkv/internal/benchkernels"
 	"diffkv/internal/experiments"
 	"diffkv/internal/offload"
@@ -147,6 +148,43 @@ type PerfSnapshot struct {
 	// Telemetry records the sampling cost of the PR 8 telemetry center
 	// against the LoopHotPath baselines.
 	Telemetry TelemetryPerf `json:"telemetry"`
+	// Vet records one diffkv-vet pass over the module (PR 9): wall time
+	// for parse + source-importer typecheck + all analyzers, and what it
+	// found. Errors must be 0 in any committed snapshot — the vet.sh CI
+	// gate enforces the same invariant on every push.
+	Vet VetPerf `json:"vet"`
+}
+
+// VetPerf is one diffkv-vet pass over the module.
+type VetPerf struct {
+	WallMs        float64 `json:"wall_ms"`
+	Packages      int     `json:"packages"`
+	TypedPackages int     `json:"typed_packages"`
+	Files         int     `json:"files"`
+	Diagnostics   int     `json:"diagnostics"`
+	Suppressions  int     `json:"suppressions"`
+	Errors        int     `json:"errors"`
+}
+
+// measureVet runs the full static-analysis pass the way `diffkv-vet
+// ./...` does (module load, typecheck, every analyzer, suppression
+// audit) and reports its cost and findings.
+func measureVet() (VetPerf, error) {
+	start := time.Now()
+	m, err := analysis.LoadModule(".", analysis.LoadOptions{Types: true})
+	if err != nil {
+		return VetPerf{}, err
+	}
+	res := analysis.Run(m, analysis.DefaultConfig())
+	return VetPerf{
+		WallMs:        float64(time.Since(start).Microseconds()) / 1e3,
+		Packages:      res.Packages,
+		TypedPackages: res.TypedPackages,
+		Files:         res.Files,
+		Diagnostics:   len(res.Diagnostics),
+		Suppressions:  res.Suppressions,
+		Errors:        len(res.Errors()),
+	}, nil
 }
 
 // runServingHotPath measures both engine modes through the full v2
@@ -486,6 +524,9 @@ func writePerfJSON(path string, seed uint64, workers int) error {
 	snap.LoopHotPath = loopHot
 	snap.Telemetry.DueNsPerOp, snap.Telemetry.SampleNsPerOp = measureTelemetry()
 	if snap.Telemetry.LoopOverhead, err = measureTelemetryOverhead(seed, loopHot, snap.Telemetry.SampleNsPerOp); err != nil {
+		return err
+	}
+	if snap.Vet, err = measureVet(); err != nil {
 		return err
 	}
 	data, err := json.MarshalIndent(snap, "", "  ")

@@ -1,0 +1,123 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// AllowAuditName is the check name for directive hygiene: directives
+// with missing reasons, unknown check names, or that suppress nothing.
+// It cannot itself be suppressed.
+const AllowAuditName = "allowaudit"
+
+// directivePrefix introduces a suppression comment. The full grammar is
+//
+//	//diffkv:allow <check> -- <reason>
+//
+// The reason is mandatory: a suppression without a recorded why is a
+// future reviewer's dead end, so allowaudit rejects it.
+const directivePrefix = "//diffkv:allow"
+
+// Directive is one parsed //diffkv:allow comment.
+type Directive struct {
+	// Check is the check name the directive suppresses.
+	Check string
+	// Reason is the text after "--".
+	Reason string
+	// Pos is the comment's position.
+	Pos token.Position
+	// TargetLine is the source line the directive applies to: its own
+	// line for a trailing comment, the following line for a comment
+	// standing alone on its line.
+	TargetLine int
+	// Used is set by the runner when the directive suppressed at least
+	// one diagnostic; unused directives are allowaudit errors.
+	Used bool
+	// parseErr holds a malformed-directive message reported by allowaudit
+	// ("" when well-formed).
+	parseErr string
+}
+
+// parseDirectives extracts every //diffkv:allow directive from file.
+// src is the file's source bytes (used to tell a trailing comment from a
+// standalone one). Malformed directives are returned too, carrying
+// parseErr, so the allowaudit pass can report them in place.
+func parseDirectives(fset *token.FileSet, file *ast.File, src []byte) []*Directive {
+	var out []*Directive
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text := c.Text
+			if !strings.HasPrefix(text, directivePrefix) {
+				continue
+			}
+			rest := text[len(directivePrefix):]
+			if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+				continue // e.g. //diffkv:allowance — not our directive
+			}
+			// Anything after an embedded "//" is trailing commentary (the
+			// fixtures put // want expectations there), not directive text.
+			if i := strings.Index(rest, "//"); i >= 0 {
+				rest = rest[:i]
+			}
+			pos := fset.Position(c.Pos())
+			d := &Directive{Pos: pos, TargetLine: pos.Line}
+			check, reason, found := strings.Cut(rest, "--")
+			d.Check = strings.TrimSpace(check)
+			d.Reason = strings.TrimSpace(reason)
+			switch {
+			case d.Check == "":
+				d.parseErr = "directive needs a check name: //diffkv:allow <check> -- <reason>"
+			case !found || d.Reason == "":
+				d.parseErr = fmt.Sprintf("directive needs a reason: //diffkv:allow %s -- <reason>", d.Check)
+			case d.Check == AllowAuditName:
+				d.parseErr = "allowaudit cannot be suppressed"
+			default:
+				if _, known := AnalyzerByName(d.Check); !known {
+					d.parseErr = fmt.Sprintf("unknown check %q (valid: %s)", d.Check, strings.Join(CheckNames(), ", "))
+				}
+			}
+			if standsAlone(fset, c.Pos(), src) {
+				d.TargetLine = pos.Line + 1
+			}
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// standsAlone reports whether the comment at pos is the only thing on
+// its source line (preceded by whitespace only) and therefore targets
+// the line below; a comment trailing code targets its own line.
+func standsAlone(fset *token.FileSet, pos token.Pos, src []byte) bool {
+	tf := fset.File(pos)
+	if tf == nil || src == nil {
+		return false
+	}
+	off := tf.Offset(pos)
+	start := tf.Offset(tf.LineStart(tf.Line(pos)))
+	if off > len(src) {
+		return false
+	}
+	for _, b := range src[start:off] {
+		if b != ' ' && b != '\t' {
+			return false
+		}
+	}
+	return true
+}
+
+// matchDirective finds a live, well-formed directive in pkg covering
+// (check, line in file) and returns it (nil when none matches).
+func matchDirective(pkg *Package, check, filename string, line int) *Directive {
+	for _, d := range pkg.Directives {
+		if d.parseErr != "" || d.Check != check {
+			continue
+		}
+		if d.Pos.Filename == filename && d.TargetLine == line {
+			return d
+		}
+	}
+	return nil
+}

@@ -1,0 +1,171 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// parseWants extracts `// want "regex"` expectations from a fixture
+// source file, keyed by 1-based line. The regex is everything between
+// the quote after "want " and the last quote on the line, so it may
+// contain escaped quotes.
+func parseWants(t *testing.T, filename string) map[int][]string {
+	t.Helper()
+	data, err := os.ReadFile(filename)
+	if err != nil {
+		t.Fatalf("read %s: %v", filename, err)
+	}
+	wants := make(map[int][]string)
+	for i, line := range strings.Split(string(data), "\n") {
+		idx := strings.Index(line, `want "`)
+		if idx < 0 {
+			continue
+		}
+		rest := line[idx+len(`want "`):]
+		end := strings.LastIndex(rest, `"`)
+		if end < 0 {
+			t.Fatalf("%s:%d: malformed want comment (no closing quote)", filename, i+1)
+		}
+		wants[i+1] = append(wants[i+1], rest[:end])
+	}
+	return wants
+}
+
+// TestFixtures runs every analyzer over each fixture package under
+// testdata/src and matches live (unsuppressed) diagnostics against the
+// fixture's // want comments, both directions: an unexpected diagnostic
+// fails, and so does a want with no diagnostic.
+func TestFixtures(t *testing.T) {
+	ents, err := os.ReadDir(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if !e.IsDir() {
+			continue
+		}
+		t.Run(e.Name(), func(t *testing.T) {
+			dir := filepath.Join("testdata", "src", e.Name())
+			m, pkg, err := LoadDir(dir)
+			if err != nil {
+				t.Fatalf("LoadDir(%s): %v", dir, err)
+			}
+			wants := make(map[string]map[int][]string, len(pkg.Filenames))
+			for _, fn := range pkg.Filenames {
+				wants[fn] = parseWants(t, fn)
+			}
+			res := Run(m, FixtureConfig())
+			for _, d := range res.Diagnostics {
+				if d.Suppressed {
+					continue
+				}
+				lineWants := wants[d.Pos.Filename][d.Pos.Line]
+				matched := -1
+				for i, re := range lineWants {
+					ok, err := regexp.MatchString(re, d.Message)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regex %q: %v", d.Pos.Filename, d.Pos.Line, re, err)
+					}
+					if ok {
+						matched = i
+						break
+					}
+				}
+				if matched < 0 {
+					t.Errorf("unexpected diagnostic: %s", d)
+					continue
+				}
+				wants[d.Pos.Filename][d.Pos.Line] = append(lineWants[:matched], lineWants[matched+1:]...)
+			}
+			for fn, byLine := range wants {
+				for line, res := range byLine {
+					for _, re := range res {
+						t.Errorf("%s:%d: expected diagnostic matching %q was not reported", fn, line, re)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestNegativeFixtureSuppressesExactlyOne pins the directive contract:
+// the negative fixture holds two identical maprange violations, one
+// annotated. Exactly one diagnostic must survive, exactly one must be
+// suppressed, and allowaudit must stay silent (the directive is used,
+// well-formed and reasoned).
+func TestNegativeFixtureSuppressesExactlyOne(t *testing.T) {
+	m, _, err := LoadDir(filepath.Join("testdata", "src", "negative"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Run(m, FixtureConfig())
+	var live, suppressed, audit int
+	for _, d := range res.Diagnostics {
+		switch {
+		case d.Check == AllowAuditName:
+			audit++
+		case d.Suppressed:
+			suppressed++
+			if d.SuppressedBy == "" {
+				t.Errorf("suppressed diagnostic carries no reason: %s", d)
+			}
+		default:
+			live++
+		}
+	}
+	if live != 1 || suppressed != 1 || audit != 0 {
+		t.Errorf("negative fixture: live=%d suppressed=%d allowaudit=%d, want 1/1/0", live, suppressed, audit)
+	}
+	if res.Suppressions != 1 {
+		t.Errorf("Suppressions = %d, want 1", res.Suppressions)
+	}
+}
+
+// TestCIViolationFixtureFails pins the scripts/vet.sh self-test: the
+// injected-violation fixture must trip every AST check at Error
+// severity, so a diffkv-vet run over it can never exit 0.
+func TestCIViolationFixtureFails(t *testing.T) {
+	m, _, err := LoadDir(filepath.Join("testdata", "ci_violation"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Run(m, FixtureConfig())
+	hit := make(map[string]bool)
+	for _, d := range res.Errors() {
+		hit[d.Check] = true
+	}
+	for _, check := range []string{"wallclock", "globalrand", "maprange", "goroutine", "timeunits"} {
+		if !hit[check] {
+			t.Errorf("ci_violation fixture does not trip %s", check)
+		}
+	}
+	if len(res.Errors()) == 0 {
+		t.Fatal("ci_violation fixture produced no errors; the vet.sh gate self-test would pass vacuously")
+	}
+}
+
+// TestRunDeterminism: two runs over the same fixture tree must produce
+// byte-identical diagnostic listings — the vet tool is subject to its
+// own rules.
+func TestRunDeterminism(t *testing.T) {
+	render := func() string {
+		m, _, err := LoadDir(filepath.Join("testdata", "ci_violation"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := Run(m, FixtureConfig())
+		var b strings.Builder
+		for _, d := range res.Diagnostics {
+			fmt.Fprintf(&b, "%s [%s]\n", d, d.Severity)
+		}
+		return b.String()
+	}
+	a, b := render(), render()
+	if a != b {
+		t.Errorf("two identical runs diverged:\n--- run 1\n%s--- run 2\n%s", a, b)
+	}
+}

@@ -1,0 +1,294 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapRange flags `for ... range m` over a map in deterministic
+// packages. Go randomizes map iteration order on purpose, so any loop
+// whose effect depends on visit order (float accumulation, first-wins
+// merges, appending rows to output) is a latent nondeterminism bug —
+// the class that broke fig2's parallel run in PR 2. Two shapes are
+// recognized as safe without a directive:
+//
+//   - key collection: every statement in the body appends to one slice,
+//     and the enclosing function later sorts that slice (the canonical
+//     sorted-keys pattern);
+//   - map clearing: every statement is delete(m, k).
+//
+// Anything else needs sorted keys or a reasoned
+// //diffkv:allow maprange directive (e.g. provably commutative integer
+// counting).
+var MapRange = register(&Analyzer{
+	Name: "maprange",
+	Doc:  "map iteration in deterministic packages without sorted keys",
+	Run: func(pass *Pass) {
+		mapNames := syntacticMapNames(pass.Pkg)
+		for _, file := range pass.Pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok || !isMapExpr(pass.Pkg, rs.X, mapNames) {
+					return true
+				}
+				if collectsKeysForSort(pass, file, rs) || clearsMap(rs) {
+					return true
+				}
+				pass.Reportf(rs.Pos(), "map iteration order is randomized; iterate sorted keys (or annotate: //diffkv:allow maprange -- <reason>)")
+				return true
+			})
+		}
+	},
+})
+
+// isMapExpr reports whether e has map type: exactly via go/types when
+// available, else via a package-level symbol table of names declared
+// with explicit map types plus the obvious literal forms.
+func isMapExpr(pkg *Package, e ast.Expr, mapNames map[string]bool) bool {
+	if pkg.TypesInfo != nil {
+		if tv, ok := pkg.TypesInfo.Types[e]; ok && tv.Type != nil {
+			_, isMap := tv.Type.Underlying().(*types.Map)
+			return isMap
+		}
+	}
+	switch x := e.(type) {
+	case *ast.Ident:
+		return mapNames[x.Name]
+	case *ast.SelectorExpr:
+		return mapNames[x.Sel.Name]
+	case *ast.CallExpr:
+		if id, ok := x.Fun.(*ast.Ident); ok && id.Name == "make" && len(x.Args) > 0 {
+			_, isMap := x.Args[0].(*ast.MapType)
+			return isMap
+		}
+		if fn, ok := x.Fun.(*ast.Ident); ok {
+			return mapNames[fn.Name]
+		}
+		if fn, ok := x.Fun.(*ast.SelectorExpr); ok {
+			return mapNames[fn.Sel.Name]
+		}
+	case *ast.CompositeLit:
+		_, isMap := x.Type.(*ast.MapType)
+		return isMap
+	case *ast.ParenExpr:
+		return isMapExpr(pkg, x.X, mapNames)
+	}
+	return false
+}
+
+// syntacticMapNames builds the fallback symbol table: every identifier
+// the package declares with an explicit map type — struct fields, vars,
+// parameters, results, and functions returning maps. Name collisions
+// make this conservative-by-majority rather than exact; it only runs
+// when go/types is unavailable.
+func syntacticMapNames(pkg *Package) map[string]bool {
+	if pkg.TypesInfo != nil {
+		return nil
+	}
+	names := map[string]bool{}
+	addField := func(f *ast.Field) {
+		if isMapTypeExpr(f.Type) {
+			for _, name := range f.Names {
+				names[name.Name] = true
+			}
+		}
+	}
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.StructType:
+				for _, f := range x.Fields.List {
+					addField(f)
+				}
+			case *ast.FuncType:
+				if x.Params != nil {
+					for _, f := range x.Params.List {
+						addField(f)
+					}
+				}
+				if x.Results != nil {
+					for _, f := range x.Results.List {
+						addField(f)
+					}
+				}
+			case *ast.FuncDecl:
+				// A niladic-result function whose single result is a map
+				// marks the function name itself (covers `range f()`).
+				if x.Type.Results != nil && len(x.Type.Results.List) == 1 &&
+					isMapTypeExpr(x.Type.Results.List[0].Type) {
+					names[x.Name.Name] = true
+				}
+			case *ast.ValueSpec:
+				if isMapTypeExpr(x.Type) {
+					for _, name := range x.Names {
+						names[name.Name] = true
+					}
+				}
+			case *ast.AssignStmt:
+				for i, rhs := range x.Rhs {
+					if i >= len(x.Lhs) {
+						break
+					}
+					id, ok := x.Lhs[i].(*ast.Ident)
+					if !ok {
+						continue
+					}
+					switch r := rhs.(type) {
+					case *ast.CallExpr:
+						if fn, isIdent := r.Fun.(*ast.Ident); isIdent && fn.Name == "make" && len(r.Args) > 0 {
+							if _, isMap := r.Args[0].(*ast.MapType); isMap {
+								names[id.Name] = true
+							}
+						}
+					case *ast.CompositeLit:
+						if _, isMap := r.Type.(*ast.MapType); isMap {
+							names[id.Name] = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return names
+}
+
+func isMapTypeExpr(t ast.Expr) bool {
+	switch x := t.(type) {
+	case *ast.MapType:
+		return true
+	case *ast.ParenExpr:
+		return isMapTypeExpr(x.X)
+	}
+	return false
+}
+
+// collectsKeysForSort recognizes the sorted-keys idiom: the range body
+// only collects into a single slice — plain appends, possibly wrapped
+// in if/continue filtering — and the enclosing function later passes
+// that slice to sort.* / slices.Sort*.
+func collectsKeysForSort(pass *Pass, file *ast.File, rs *ast.RangeStmt) bool {
+	if len(rs.Body.List) == 0 {
+		return false
+	}
+	var slice string
+	if !collectStmts(rs.Body.List, &slice) || slice == "" {
+		return false
+	}
+	return sortFollows(file, rs, slice)
+}
+
+// collectStmts reports whether stmts contains nothing but appends to a
+// single slice (named in *slice), if-filters around such appends, and
+// continue statements.
+func collectStmts(stmts []ast.Stmt, slice *string) bool {
+	for _, stmt := range stmts {
+		switch s := stmt.(type) {
+		case *ast.AssignStmt:
+			if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+				return false
+			}
+			lhs, ok := s.Lhs[0].(*ast.Ident)
+			if !ok {
+				return false
+			}
+			call, ok := s.Rhs[0].(*ast.CallExpr)
+			if !ok {
+				return false
+			}
+			fn, ok := call.Fun.(*ast.Ident)
+			if !ok || fn.Name != "append" {
+				return false
+			}
+			if *slice == "" {
+				*slice = lhs.Name
+			} else if *slice != lhs.Name {
+				return false
+			}
+		case *ast.IfStmt:
+			if s.Init != nil {
+				return false
+			}
+			if !collectStmts(s.Body.List, slice) {
+				return false
+			}
+			if s.Else != nil {
+				eb, ok := s.Else.(*ast.BlockStmt)
+				if !ok || !collectStmts(eb.List, slice) {
+					return false
+				}
+			}
+		case *ast.BranchStmt:
+			if s.Tok != token.CONTINUE {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// sortFollows reports whether, after the range statement, the enclosing
+// function sorts `slice` (any sort.* or slices.* call taking it as an
+// argument, or a method call on it whose name contains Sort).
+func sortFollows(file *ast.File, rs *ast.RangeStmt, slice string) bool {
+	var encl *ast.FuncDecl
+	ast.Inspect(file, func(n ast.Node) bool {
+		if fd, ok := n.(*ast.FuncDecl); ok && fd.Body != nil &&
+			fd.Body.Pos() <= rs.Pos() && rs.End() <= fd.Body.End() {
+			encl = fd
+		}
+		return true
+	})
+	var root ast.Node
+	if encl != nil {
+		root = encl.Body
+	} else {
+		root = file // range in a func literal at top level
+	}
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if pkgID, isIdent := sel.X.(*ast.Ident); isIdent && (pkgID.Name == "sort" || pkgID.Name == "slices") {
+			for _, arg := range call.Args {
+				if id, isID := arg.(*ast.Ident); isID && id.Name == slice {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// clearsMap recognizes `for k := range m { delete(m, k) }` (plus any
+// extra delete statements) — order-independent by construction.
+func clearsMap(rs *ast.RangeStmt) bool {
+	if len(rs.Body.List) == 0 {
+		return false
+	}
+	for _, stmt := range rs.Body.List {
+		es, ok := stmt.(*ast.ExprStmt)
+		if !ok {
+			return false
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		fn, ok := call.Fun.(*ast.Ident)
+		if !ok || fn.Name != "delete" {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,25 @@
+// Package civiolation is the injected-violation fixture scripts/vet.sh
+// runs diffkv-vet against to prove the CI gate actually fails: every
+// line below violates a check, and none carries an allow directive.
+// If `diffkv-vet internal/analysis/testdata/ci_violation` ever exits 0,
+// the gate is broken and vet.sh fails the build.
+package civiolation
+
+import (
+	"math/rand"
+	"time"
+)
+
+func violations(m map[int]float64, ch chan int) {
+	_ = time.Now()    // wallclock
+	_ = rand.Intn(10) // globalrand
+	var sum float64
+	for _, v := range m { // maprange
+		sum += v
+	}
+	go func() {}() // goroutine
+	ch <- 1        // goroutine (send)
+	var nowUs, wallMs float64
+	_ = nowUs + wallMs // timeunits
+	_ = sum
+}

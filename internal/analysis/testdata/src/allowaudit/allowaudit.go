@@ -1,0 +1,28 @@
+// Package allowaudit is a diffkv-vet fixture: directive hygiene.
+package allowaudit
+
+func noReason(m map[int]int) {
+	//diffkv:allow maprange // want "directive needs a reason"
+	for range m { // want "map iteration order is randomized"
+		_ = m
+	}
+}
+
+func unknownCheck(m map[int]int) {
+	//diffkv:allow nosuchcheck -- bogus // want "unknown check \"nosuchcheck\""
+	for range m { // want "map iteration order is randomized"
+		_ = m
+	}
+}
+
+func unused() {
+	//diffkv:allow wallclock -- nothing here reads the clock // want "suppresses nothing"
+	_ = 1 + 1
+}
+
+func selfSuppress(m map[int]int) {
+	//diffkv:allow allowaudit -- trying to silence the auditor // want "allowaudit cannot be suppressed"
+	for range m { // want "map iteration order is randomized"
+		_ = m
+	}
+}

@@ -1,0 +1,25 @@
+// Package goroutine is a diffkv-vet fixture: scheduler hand-offs inside
+// the event-loop step path.
+package goroutine
+
+func bad(ch chan int) {
+	go func() {}() // want "goroutine launched in a step-path package"
+	ch <- 1        // want "channel send in a step-path package"
+}
+
+func good(ch chan int) int {
+	// Receives and closes are fine: they consume completed work, they do
+	// not fork the step.
+	v := <-ch
+	close(ch)
+	return v
+}
+
+func allowed(done chan struct{}) {
+	//diffkv:allow goroutine -- fixture: loop driver exemption
+	go func() {}()
+	select {
+	case done <- struct{}{}: //diffkv:allow goroutine -- fixture: wake nudge exemption
+	default:
+	}
+}

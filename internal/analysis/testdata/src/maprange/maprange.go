@@ -1,0 +1,74 @@
+// Package maprange is a diffkv-vet fixture: map iteration in a
+// deterministic package.
+package maprange
+
+import "sort"
+
+type table struct {
+	rows map[int]float64
+}
+
+func bad(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want "map iteration order is randomized"
+		total += v
+	}
+	return total
+}
+
+func badField(t *table) float64 {
+	var sum float64
+	for _, v := range t.rows { // want "map iteration order is randomized"
+		sum += v
+	}
+	return sum
+}
+
+func badCollectNoSort(m map[int]bool) []int {
+	var keys []int
+	for k := range m { // want "map iteration order is randomized"
+		keys = append(keys, k)
+	}
+	return keys // never sorted: the slice order is nondeterministic
+}
+
+func goodSortedKeys(m map[string]int) int {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	total := 0
+	for _, k := range keys {
+		total += m[k]
+	}
+	return total
+}
+
+func goodFilteredCollect(m map[int]bool) []int {
+	var keys []int
+	for k := range m {
+		if !m[k] {
+			continue
+		}
+		if k > 0 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+func goodClear(m map[int]bool) {
+	for k := range m {
+		delete(m, k)
+	}
+}
+
+func goodSlice(s []int) int {
+	total := 0
+	for _, v := range s { // slices iterate in order: not flagged
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,23 @@
+// Package negative is a diffkv-vet fixture proving an allow directive
+// suppresses exactly one diagnostic: two identical violations, one
+// annotated. The fixture test asserts one live maprange diagnostic
+// (the unannotated loop), one suppressed one, and zero allowaudit
+// findings (the directive is used, well-formed and reasoned).
+package negative
+
+func annotated(m map[int]int) int {
+	n := 0
+	//diffkv:allow maprange -- fixture: integer count, order-independent
+	for range m {
+		n++
+	}
+	return n
+}
+
+func unannotated(m map[int]int) int {
+	n := 0
+	for range m { // want "map iteration order is randomized"
+		n++
+	}
+	return n
+}

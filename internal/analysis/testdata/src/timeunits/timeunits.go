@@ -1,0 +1,27 @@
+// Package timeunits is a diffkv-vet fixture: arithmetic mixing
+// Us/Ms/Sec-suffixed identifiers without conversion.
+package timeunits
+
+type cfg struct {
+	TimeoutSec float64
+	RetryMs    float64
+}
+
+func bad(nowUs, wallMs, horizonSec float64, c cfg) {
+	_ = nowUs + wallMs        // want "mixes microsecond .Us. and millisecond .Ms. operands"
+	_ = nowUs > horizonSec    // want "mixes microsecond .Us. and second .Sec. operands"
+	_ = wallMs - c.TimeoutSec // want "mixes millisecond .Ms. and second .Sec. operands"
+	var deadlineUs float64
+	deadlineUs = c.RetryMs // want "assigns a millisecond .Ms. value"
+	_ = deadlineUs
+}
+
+func good(nowUs, stepUs, wallMs, tSec float64) {
+	_ = nowUs + stepUs       // same unit
+	_ = nowUs > wallMs*1e3   // conversion erases the unit
+	_ = tSec*1e6 + nowUs     // converted before mixing
+	_ = (nowUs + stepUs) / 2 // same-unit subtree
+	var status int           // "Status" must not read as a Us suffix
+	var params []int         // "params" must not read as an Ms suffix
+	_, _ = status, params
+}

@@ -1,0 +1,27 @@
+// Package wallclock is a diffkv-vet fixture: wall-clock reads in a
+// simulated-time package.
+package wallclock
+
+import "time"
+
+func bad() {
+	_ = time.Now()                  // want "time.Now reads the wall clock"
+	time.Sleep(time.Millisecond)    // want "time.Sleep reads the wall clock"
+	_ = time.Since(time.Time{})     // want "time.Since reads the wall clock"
+	_ = time.Until(time.Time{})     // want "time.Until reads the wall clock"
+	t := time.NewTimer(time.Second) // want "time.NewTimer reads the wall clock"
+	defer t.Stop()
+	<-time.After(time.Second) // want "time.After reads the wall clock"
+}
+
+func good() time.Duration {
+	// Durations, constants and explicit instants are not clock reads.
+	d := 5 * time.Millisecond
+	_ = time.Unix(0, 0)
+	_ = time.Date(2025, 1, 1, 0, 0, 0, 0, time.UTC)
+	return d
+}
+
+func allowed() {
+	_ = time.Now() //diffkv:allow wallclock -- fixture: pacing-path exemption
+}

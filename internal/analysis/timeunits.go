@@ -1,0 +1,154 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// timeUnit is a recognized duration unit carried in an identifier
+// suffix: nowUs, WallMs, HorizonSec, UptimeSeconds.
+type timeUnit string
+
+const (
+	unitNone timeUnit = ""
+	unitUs   timeUnit = "us"
+	unitMs   timeUnit = "ms"
+	unitSec  timeUnit = "s"
+)
+
+// TimeUnits flags arithmetic and comparisons that mix identifiers with
+// different time-unit suffixes with no visible conversion. The sim
+// clock convention (nowUs float64 microseconds, Ms for host wall time,
+// Sec for operator-facing config) is honor-system: `deadlineUs <
+// timeoutSec` compiles fine and silently corrupts the event queue. A
+// conversion (e.g. *1e3 or /1e6) breaks the direct ident-to-ident mix,
+// so correctly converted expressions are not flagged.
+var TimeUnits = register(&Analyzer{
+	Name: "timeunits",
+	Doc:  "arithmetic/comparisons mixing Us/Ms/Sec-suffixed identifiers without conversion",
+	Run: func(pass *Pass) {
+		for _, file := range pass.Pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch x := n.(type) {
+				case *ast.BinaryExpr:
+					switch x.Op {
+					case token.ADD, token.SUB, token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ:
+						l, r := unitOf(x.X), unitOf(x.Y)
+						if l != unitNone && r != unitNone && l != r {
+							pass.Reportf(x.OpPos, "mixes %s and %s operands (%s %s %s) with no conversion",
+								l.describe(), r.describe(), exprLabel(x.X), x.Op, exprLabel(x.Y))
+						}
+					}
+				case *ast.AssignStmt:
+					if len(x.Lhs) != len(x.Rhs) {
+						return true
+					}
+					for i := range x.Lhs {
+						l, r := unitOf(x.Lhs[i]), unitOf(x.Rhs[i])
+						if l != unitNone && r != unitNone && l != r {
+							pass.Reportf(x.TokPos, "assigns a %s value (%s) to a %s variable (%s) with no conversion",
+								r.describe(), exprLabel(x.Rhs[i]), l.describe(), exprLabel(x.Lhs[i]))
+						}
+					}
+				}
+				return true
+			})
+		}
+	},
+})
+
+func (u timeUnit) describe() string {
+	switch u {
+	case unitUs:
+		return "microsecond (Us)"
+	case unitMs:
+		return "millisecond (Ms)"
+	case unitSec:
+		return "second (Sec)"
+	}
+	return string(u)
+}
+
+// unitOf infers the time unit an expression carries, unitNone when
+// unknown. Multiplication/division and mixed sub-expressions return
+// unitNone — they are how conversions are written, so they erase the
+// unit rather than propagate a wrong one.
+func unitOf(e ast.Expr) timeUnit {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return suffixUnit(x.Name)
+	case *ast.SelectorExpr:
+		return suffixUnit(x.Sel.Name)
+	case *ast.CallExpr:
+		switch fn := x.Fun.(type) {
+		case *ast.Ident:
+			return suffixUnit(fn.Name)
+		case *ast.SelectorExpr:
+			return suffixUnit(fn.Sel.Name)
+		}
+	case *ast.ParenExpr:
+		return unitOf(x.X)
+	case *ast.UnaryExpr:
+		if x.Op == token.SUB || x.Op == token.ADD {
+			return unitOf(x.X)
+		}
+	case *ast.BinaryExpr:
+		if x.Op == token.ADD || x.Op == token.SUB {
+			l, r := unitOf(x.X), unitOf(x.Y)
+			if l == r {
+				return l
+			}
+		}
+	case *ast.IndexExpr:
+		return unitOf(x.X)
+	}
+	return unitNone
+}
+
+// suffixUnit maps an identifier's suffix to its unit. The character
+// before the suffix must be a lower-case letter or digit (camelCase
+// boundary), so Status does not read as a Us value and RAMs not as Ms.
+func suffixUnit(name string) timeUnit {
+	for _, s := range []struct {
+		suffix string
+		unit   timeUnit
+	}{
+		{"Seconds", unitSec}, {"Secs", unitSec}, {"Sec", unitSec},
+		{"Us", unitUs}, {"Ms", unitMs},
+	} {
+		if !strings.HasSuffix(name, s.suffix) {
+			continue
+		}
+		rest := name[:len(name)-len(s.suffix)]
+		if rest == "" {
+			return s.unit
+		}
+		c := rest[len(rest)-1]
+		if c >= 'a' && c <= 'z' || c >= '0' && c <= '9' {
+			return s.unit
+		}
+	}
+	return unitNone
+}
+
+// exprLabel renders a short name for an expression in diagnostics.
+func exprLabel(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprLabel(x.X) + "." + x.Sel.Name
+	case *ast.CallExpr:
+		return exprLabel(x.Fun) + "()"
+	case *ast.ParenExpr:
+		return "(" + exprLabel(x.X) + ")"
+	case *ast.UnaryExpr:
+		return x.Op.String() + exprLabel(x.X)
+	case *ast.BinaryExpr:
+		return exprLabel(x.X) + x.Op.String() + exprLabel(x.Y)
+	case *ast.IndexExpr:
+		return exprLabel(x.X) + "[...]"
+	}
+	return "expr"
+}

@@ -1,0 +1,72 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// wallclockFuncs are the time-package functions that read or wait on
+// the host clock. Pure constructors/constants (time.Duration, the
+// Millisecond constant, time.Unix on an explicit value) are fine: they
+// do not couple the simulation to the machine it runs on.
+var wallclockFuncs = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"Since":     true,
+	"Until":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// Wallclock flags wall-clock reads in simulated-time packages. The
+// simulator's clock is nowUs, advanced by the event loop; any time.Now
+// (or friends) on a sim path makes completions depend on host speed and
+// breaks bit-identical replay. Legitimate uses — the Loop's TimeScale
+// pacing, uptime reporting at the network edge — carry
+// //diffkv:allow wallclock directives naming their reason.
+var Wallclock = register(&Analyzer{
+	Name: "wallclock",
+	Doc:  "wall-clock reads (time.Now/Sleep/Since/...) in simulated-time packages",
+	Run: func(pass *Pass) {
+		for _, file := range pass.Pkg.Files {
+			local := ImportName(file, "time")
+			if local == "" || local == "_" {
+				continue
+			}
+			ast.Inspect(file, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok || !wallclockFuncs[sel.Sel.Name] {
+					return true
+				}
+				id, ok := sel.X.(*ast.Ident)
+				if !ok || id.Name != local {
+					return true
+				}
+				if !isPackageRef(pass.Pkg, id) {
+					return true
+				}
+				pass.Reportf(sel.Pos(), "time.%s reads the wall clock in a simulated-time package (use the nowUs sim clock, or annotate: //diffkv:allow wallclock -- <reason>)", sel.Sel.Name)
+				return true
+			})
+		}
+	},
+})
+
+// isPackageRef reports whether id refers to an imported package. With
+// types info it is exact; syntactically we accept any identifier that
+// matches the import's local name (shadowing a package name with a
+// variable is its own code smell).
+func isPackageRef(pkg *Package, id *ast.Ident) bool {
+	if pkg.TypesInfo == nil {
+		return true
+	}
+	obj := pkg.TypesInfo.Uses[id]
+	if obj == nil {
+		return true // partial type info: fall back to syntax
+	}
+	_, isPkg := obj.(*types.PkgName)
+	return isPkg
+}

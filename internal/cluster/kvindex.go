@@ -54,6 +54,7 @@ func (x *KVIndex) evictOldest() {
 	var victim uint64
 	first := true
 	var victimT float64
+	//diffkv:allow maprange -- min-scan with total-order tie-break (lastUse, then lowest hash): same victim whatever the walk order
 	for h, e := range x.entries {
 		if first || e.lastUse < victimT || (e.lastUse == victimT && h < victim) {
 			victim, victimT = h, e.lastUse
@@ -79,11 +80,13 @@ func (x *KVIndex) Matches(hashes []uint64) map[int]int {
 		}
 		if i == 0 {
 			alive = make(map[int]bool, len(e.insts))
+			//diffkv:allow maprange -- per-key map writes, no cross-key state: result set is order-independent
 			for inst := range e.insts {
 				alive[inst] = true
 				counts[inst] = 1
 			}
 		} else {
+			//diffkv:allow maprange -- per-key increment/delete, no cross-key state; callers index the result by instance ID
 			for inst := range alive {
 				if _, ok := e.insts[inst]; ok {
 					counts[inst]++

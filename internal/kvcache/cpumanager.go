@@ -270,6 +270,7 @@ func (m *CPUManager) parallel(n int, fn func(int)) {
 			continue
 		}
 		wg.Add(1)
+		//diffkv:allow goroutine -- fork-join over disjoint index ranges, joined before return: output is schedule-independent
 		go func(lo, hi int) {
 			defer wg.Done()
 			for i := lo; i < hi; i++ {

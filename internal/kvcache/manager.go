@@ -463,6 +463,7 @@ func (m *Manager) BytesUsed() int64 {
 // sequences.
 func (m *Manager) MetadataBytes() int {
 	var b int
+	//diffkv:allow maprange -- integer sum: addition over int is commutative and exact
 	for _, sc := range m.seqs {
 		for _, hc := range sc.Heads {
 			b += hc.table.MetadataBytes()

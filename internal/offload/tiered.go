@@ -152,6 +152,7 @@ func (t *TieredStore) reserve(need int64) bool {
 	}
 	for t.hostUsed+need > t.cfg.HostBytes {
 		victim, victimT := -1, math.Inf(1)
+		//diffkv:allow maprange -- min-scan with total-order tie-break (lastUse, then lowest group): same victim whatever the walk order
 		for g, p := range t.prefixes {
 			if p.lastUse < victimT || (p.lastUse == victimT && (victim == -1 || g < victim)) {
 				victim, victimT = g, p.lastUse

@@ -691,6 +691,7 @@ func (e *Engine) insertPrefix(group int) *prefixEntry {
 	e.prefix[group] = ent
 	for len(e.prefix) > e.cfg.PrefixCacheGroups {
 		victim, victimT := -1, gpusim.Micros(math.MaxInt64)
+		//diffkv:allow maprange -- min-scan with total-order tie-break (lastUse, then lowest group): same victim whatever the walk order
 		for g, en := range e.prefix {
 			if g == group {
 				continue

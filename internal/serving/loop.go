@@ -280,7 +280,7 @@ func NewLoop(d Driver, cfg LoopConfig) *Loop {
 	if cfg.Poll <= 0 {
 		cfg.Poll = 2 * time.Millisecond
 	}
-	now := time.Now()
+	now := time.Now() //diffkv:allow wallclock -- Loop pacing origin: anchors TimeScale pacing and uptime to the host clock by design
 	l := &Loop{
 		d:          d,
 		cfg:        cfg,
@@ -289,6 +289,7 @@ func NewLoop(d Driver, cfg LoopConfig) *Loop {
 		wake:       make(chan struct{}, 1),
 		done:       make(chan struct{}),
 	}
+	//diffkv:allow goroutine -- the Loop IS the background driver goroutine; determinism is pinned by TestLoopMatchesStepDriven
 	go l.run()
 	return l
 }
@@ -376,9 +377,10 @@ func (l *Loop) Metrics() LoopMetrics {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	m := LoopMetrics{
-		Opened:        l.opened,
-		Completed:     l.completed,
-		Steps:         l.steps,
+		Opened:    l.opened,
+		Completed: l.completed,
+		Steps:     l.steps,
+		//diffkv:allow wallclock -- uptime is an operator-facing wall-clock metric, never fed back into the sim
 		UptimeSeconds: time.Since(l.start).Seconds(),
 		Draining:      l.draining,
 		Stopped:       l.stopped,
@@ -463,7 +465,7 @@ func (l *Loop) paceWait(t gpusim.Micros) time.Duration {
 		return 0
 	}
 	target := l.paceOrigin.Add(time.Duration(float64(t) * l.cfg.TimeScale * float64(time.Microsecond)))
-	wait := time.Until(target)
+	wait := time.Until(target) //diffkv:allow wallclock -- TimeScale pacing compares the sim schedule against real time by definition
 	if wait < 0 {
 		l.paceOrigin = l.paceOrigin.Add(-wait)
 		return 0
@@ -509,7 +511,7 @@ func (l *Loop) record(comps []Completion) {
 
 // sleep blocks for d or until the next wakeup, whichever is first.
 func (l *Loop) sleep(d time.Duration) {
-	t := time.NewTimer(d)
+	t := time.NewTimer(d) //diffkv:allow wallclock -- idle/pacing sleep between steps; sim state never observes the timer
 	defer t.Stop()
 	select {
 	case <-l.wake:
@@ -520,7 +522,7 @@ func (l *Loop) sleep(d time.Duration) {
 // wakeup nudges a sleeping loop (non-blocking; coalesces).
 func (l *Loop) wakeup() {
 	select {
-	case l.wake <- struct{}{}:
+	case l.wake <- struct{}{}: //diffkv:allow goroutine -- wake nudge to the Loop's own driver goroutine, not step-path work hand-off
 	default:
 	}
 }

@@ -171,6 +171,7 @@ const sessionAutoIDBase = 1 << 30
 // OpenSessions returns the number of unfinished sessions.
 func (e *Engine) OpenSessions() int {
 	n := 0
+	//diffkv:allow maprange -- integer count of a predicate: commutative, order cannot change the total
 	for _, s := range e.sessions {
 		if !s.finished {
 			n++

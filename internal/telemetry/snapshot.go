@@ -162,9 +162,12 @@ func (c *Center) Snapshot() Snapshot {
 		snap.Cluster.HeadroomSpark = hs.Tail(sparkLen)
 	}
 
+	// Merge in sorted instance order: Hist.Merge accumulates a float64
+	// sum, and float addition is not associative — a raw map walk would
+	// make the merged mean drift in the last bits between identical runs.
 	var merged latencySet
-	for _, ls := range c.perInstLat {
-		merged.merge(ls)
+	for _, k := range sortedLatKeys(c.perInstLat) {
+		merged.merge(c.perInstLat[k])
 	}
 	snap.Latency = map[string]LatencySnapshot{
 		"ttft": merged.ttft.snapshot(),

@@ -12,6 +12,7 @@ package telemetry
 
 import (
 	"math"
+	"sort"
 	"sync"
 
 	"diffkv/internal/trace"
@@ -344,11 +345,24 @@ func (c *Center) TotalAlerts() int64 {
 func (c *Center) LatencyHists() (ttft, tpot, e2e Hist) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	// Sorted instance order keeps the merged float sums bit-identical
+	// between runs (same reason as Center.Snapshot's merge).
 	var m latencySet
-	for _, ls := range c.perInstLat {
-		m.merge(ls)
+	for _, k := range sortedLatKeys(c.perInstLat) {
+		m.merge(c.perInstLat[k])
 	}
 	return m.ttft, m.tpot, m.e2e
+}
+
+// sortedLatKeys returns the per-instance latency map's keys in
+// ascending order, pinning every merge walk to one order.
+func sortedLatKeys(m map[int]*latencySet) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
 }
 
 // SatByInst returns the latest saturation verdict per key (0 =
@@ -357,6 +371,7 @@ func (c *Center) SatByInst() map[int]SatSample {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	out := make(map[int]SatSample, len(c.satByKey))
+	//diffkv:allow maprange -- map-to-map copy with distinct keys: identical result whatever the walk order
 	for k, v := range c.satByKey {
 		out[k] = v
 	}

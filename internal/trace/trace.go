@@ -126,6 +126,7 @@ func NewCollector(capacity int) *Collector {
 func (c *Collector) Emit(e Event) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	//diffkv:allow maprange -- best-effort fan-out: every subscriber gets the same event; inter-subscriber order is unobservable
 	for _, ch := range c.subs {
 		select {
 		case ch <- e:

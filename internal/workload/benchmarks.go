@@ -20,6 +20,7 @@ package workload
 import (
 	"fmt"
 	"math"
+	"sort"
 )
 
 // Benchmark describes one evaluation workload.
@@ -92,12 +93,20 @@ func (b *Benchmark) Retention(outputErr float64) float64 {
 func (b *Benchmark) Accuracy(model string, outputErr float64) float64 {
 	base, ok := b.FP16[model]
 	if !ok {
-		var sum float64
-		for _, v := range b.FP16 {
-			sum += v
+		// Sum in sorted-key order: float addition is not associative, so a
+		// raw map walk would make the fallback accuracy differ in the last
+		// bits from run to run.
+		names := make([]string, 0, len(b.FP16))
+		for name := range b.FP16 {
+			names = append(names, name)
 		}
-		if len(b.FP16) > 0 {
-			base = sum / float64(len(b.FP16))
+		sort.Strings(names)
+		var sum float64
+		for _, name := range names {
+			sum += b.FP16[name]
+		}
+		if len(names) > 0 {
+			base = sum / float64(len(names))
 		}
 	}
 	return base * b.Retention(outputErr)

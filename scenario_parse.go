@@ -70,10 +70,17 @@ func walkUnknown(v any, t reflect.Type, path string) error {
 			ft, known := fields[key]
 			if !known {
 				// mirror encoding/json: exact match first, then
-				// case-insensitive — a case-variant key is not unknown
-				for name, typ := range fields {
+				// case-insensitive — a case-variant key is not unknown.
+				// Scan candidates in sorted order so the winner does not
+				// depend on map iteration when several names fold equal.
+				names := make([]string, 0, len(fields))
+				for name := range fields {
+					names = append(names, name)
+				}
+				sort.Strings(names)
+				for _, name := range names {
 					if strings.EqualFold(name, key) {
-						ft, known = typ, true
+						ft, known = fields[name], true
 						break
 					}
 				}
