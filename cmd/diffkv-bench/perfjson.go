@@ -11,6 +11,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"os"
 	"runtime"
 	"sync"
@@ -71,6 +72,22 @@ type ChaosGoodput struct {
 	Redispatches  int     `json:"redispatches"`
 	SwapRecovered int     `json:"swap_recovered"`
 	LostKVMB      float64 `json:"lost_kv_mb"`
+}
+
+// DisaggGoodput is one cell of the disaggregation record: a full-size
+// disagg-experiment run (4x L40 DiffKV cluster, paced MMLU arrivals) at
+// one pool split under one wire tier. Wire bytes scale with the tier —
+// K4V2 ships under a third of FP16's bytes at identical request sets —
+// and the colocated split {0, 0} is the no-transfer control.
+type DisaggGoodput struct {
+	Split         string  `json:"split"`
+	Tier          string  `json:"tier"`
+	GoodputReqSec float64 `json:"goodput_req_per_sec"`
+	TTFTP99Sec    float64 `json:"ttft_p99_sec"`
+	Completed     int     `json:"completed"`
+	Transfers     int     `json:"transfers"`
+	WireMB        float64 `json:"wire_mb"`
+	XferSec       float64 `json:"xfer_sec"`
 }
 
 // ServingHotPathResult measures scheduler wall-clock cost: one
@@ -134,6 +151,10 @@ type PerfSnapshot struct {
 	// each crash rate (identical crash timelines per rate, so the delta
 	// between policy rows is attributable to the recovery path alone).
 	Chaos []ChaosGoodput `json:"chaos,omitempty"`
+	// Disagg records prefill/decode pool-split goodput and wire traffic
+	// per quant tier (PR 10): identical request sets per cell, so the
+	// tier rows isolate the compression economics of the KV transfer.
+	Disagg []DisaggGoodput `json:"disagg,omitempty"`
 	// ServingHotPath times the v2-API serving path (scenario build +
 	// Run): steps/sec must stay within noise of the pre-registry numbers.
 	ServingHotPath []ServingHotPathResult `json:"serving_hot_path"`
@@ -510,6 +531,29 @@ func writePerfJSON(path string, seed uint64, workers int) error {
 				SwapRecovered: m.SwapRecovered,
 				LostKVMB:      float64(m.LostKVBytes) / (1 << 20),
 			})
+		}
+	}
+	// disaggregation goodput and wire traffic per pool split x tier
+	// (full-size cells, matching `-exp disagg` without -fast)
+	for _, split := range experiments.DisaggSplits(false) {
+		for _, tier := range experiments.DisaggTiers() {
+			m := experiments.DisaggRun(split, tier, 48, seed)
+			row := DisaggGoodput{
+				Split:         "colocated",
+				Tier:          tier.String(),
+				GoodputReqSec: m.GoodputReqPerSec,
+				TTFTP99Sec:    m.TTFT.P99,
+				Completed:     m.Completed,
+			}
+			if split[0] > 0 {
+				row.Split = fmt.Sprintf("%d:%d", split[0], split[1])
+			}
+			if m.Disagg != nil {
+				row.Transfers = m.Disagg.Transfers
+				row.WireMB = float64(m.Disagg.KVBytesShipped) / (1 << 20)
+				row.XferSec = m.Disagg.XferSeconds
+			}
+			snap.Disagg = append(snap.Disagg, row)
 		}
 	}
 	hot, err := runServingHotPath(seed)

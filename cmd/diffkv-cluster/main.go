@@ -11,6 +11,7 @@
 //	diffkv-cluster -policy prefix-affinity -method DiffKV -trace events.jsonl
 //	diffkv-cluster -policy all -bench MMLU -groups 16 -prefixlen 768
 //	diffkv-cluster -chaos 2 -hostmem 4 -preempt swap     # fault injection
+//	diffkv-cluster -disagg 2:2 -method DiffKV            # prefill/decode pools
 //	diffkv-cluster -scenario scenario.json
 package main
 
@@ -23,6 +24,15 @@ import (
 
 	"diffkv"
 )
+
+// parseDisagg parses the -disagg value "P:D" into pool sizes.
+func parseDisagg(s string) (*diffkv.DisaggSpec, error) {
+	var p, d int
+	if n, err := fmt.Sscanf(s, "%d:%d", &p, &d); n != 2 || err != nil {
+		return nil, fmt.Errorf("bad -disagg %q (want prefill:decode, e.g. 2:2)", s)
+	}
+	return &diffkv.DisaggSpec{PrefillPool: p, DecodePool: d}, nil
+}
 
 func main() {
 	var (
@@ -53,6 +63,7 @@ func main() {
 		chaosDown    = flag.Float64("chaos-down", 5, "mean crash downtime in seconds (with -chaos)")
 		pcieErr      = flag.Float64("pcie-err", 0, "fault injection: per-transfer PCIe host<->device error probability")
 		retryBudget  = flag.Int("retry-budget", 0, "re-dispatch retries per request after crashes (0 = default 3, negative = none)")
+		disaggSplit  = flag.String("disagg", "", "prefill/decode disaggregation pools as prefill:decode (e.g. 2:2; excludes -chaos)")
 	)
 	flag.Parse()
 
@@ -101,6 +112,13 @@ func main() {
 				PCIeErrorRate:   *pcieErr,
 				RetryBudget:     *retryBudget,
 			}
+		}
+		if *disaggSplit != "" {
+			d, err := parseDisagg(*disaggSplit)
+			if err != nil {
+				log.Fatal(err)
+			}
+			base.Disaggregation = d
 		}
 	}
 	if *dump {
@@ -172,6 +190,15 @@ func main() {
 				m.Preemptions, m.PreemptedRequests,
 				float64(m.SwapOutBytes)/(1<<20), float64(m.SwapInBytes)/(1<<20),
 				m.SwapStallSeconds*1e3, m.ThrashRate, m.HostPrefixHits)
+		}
+		if d := m.Disagg; d != nil {
+			fmt.Printf("  disagg: %d prefill + %d decode instances | %d shipments | %.1f MB over NIC | %.1f ms wire time\n",
+				d.PrefillInstances, d.DecodeInstances, d.Transfers,
+				float64(d.KVBytesShipped)/(1<<20), d.XferSeconds*1e3)
+			for _, l := range d.Links {
+				fmt.Printf("    link %d->%d: %d shipments, %.1f MB\n",
+					l.From, l.To, l.Transfers, float64(l.Bytes)/(1<<20))
+			}
 		}
 		if m.Crashes > 0 || m.Redispatches > 0 || m.Failed > 0 {
 			fmt.Printf("  faults: %d crashes / %d restarts | %d re-dispatched | %d failed | %d swap-recovered | %.1f MB KV lost\n",

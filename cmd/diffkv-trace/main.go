@@ -132,6 +132,17 @@ type failReason struct {
 	Count  int    `json:"count"`
 }
 
+// xferLink aggregates one prefill→decode shipping lane's KV traffic
+// from kv_ship events.
+type xferLink struct {
+	From      int     `json:"from"`
+	To        int     `json:"to"`
+	Link      string  `json:"link"`
+	Transfers int     `json:"transfers"`
+	Bytes     int64   `json:"bytes"`
+	WireMs    float64 `json:"wire_ms"`
+}
+
 // alertEntry is one telemetry alert (saturation advisory or SLO
 // burn-rate transition) in trace order.
 type alertEntry struct {
@@ -162,6 +173,11 @@ type report struct {
 	// SwapOutBytes / SwapInBytes total the PCIe traffic of swap events.
 	SwapOutBytes int64 `json:"swap_out_bytes,omitempty"`
 	SwapInBytes  int64 `json:"swap_in_bytes,omitempty"`
+	// Disaggregation transfer traffic (empty without kv_ship events):
+	// totals plus per-lane aggregates sorted by source then destination.
+	Transfers      int        `json:"transfers,omitempty"`
+	KVBytesShipped int64      `json:"kv_bytes_shipped,omitempty"`
+	XferLinks      []xferLink `json:"xfer_links,omitempty"`
 	// Fault-injection section (empty without health/retry/fail events).
 	// Downtime lists per-instance down and degraded windows in time
 	// order; CrashOrphans counts requests orphaned by crashes,
@@ -231,7 +247,7 @@ func analyzeFaults(rep *report, events []trace.Event) {
 func analyze(events []trace.Event, trees []*trace.RequestSpans, windowUs float64, stormMin int) report {
 	rep := report{Events: len(events), Requests: len(trees)}
 
-	var queue, prefill, decode, stall, swapped, e2e []float64
+	var queue, prefill, xfer, decode, stall, swapped, e2e []float64
 	type arrival struct{ startUs, queueUs float64 }
 	var arrivals []arrival
 	for _, rt := range trees {
@@ -250,6 +266,9 @@ func analyze(events []trace.Event, trees []*trace.RequestSpans, windowUs float64
 		}
 		queue = append(queue, rt.Phases.QueueUs)
 		prefill = append(prefill, rt.Phases.PrefillUs)
+		if rt.Phases.XferUs > 0 {
+			xfer = append(xfer, rt.Phases.XferUs)
+		}
 		decode = append(decode, rt.Phases.DecodeUs)
 		if rt.Phases.StallUs > 0 {
 			stall = append(stall, rt.Phases.StallUs)
@@ -264,8 +283,8 @@ func analyze(events []trace.Event, trees []*trace.RequestSpans, windowUs float64
 		name string
 		xs   []float64
 	}{
-		{"queue", queue}, {"prefill", prefill}, {"decode", decode},
-		{"stall", stall}, {"swapped", swapped}, {"e2e", e2e},
+		{"queue", queue}, {"prefill", prefill}, {"xfer:inst", xfer},
+		{"decode", decode}, {"stall", stall}, {"swapped", swapped}, {"e2e", e2e},
 	} {
 		if len(d.xs) == 0 {
 			continue
@@ -344,8 +363,49 @@ func analyze(events []trace.Event, trees []*trace.RequestSpans, windowUs float64
 	sort.SliceStable(rep.Storms, func(i, j int) bool {
 		return rep.Storms[i].Preemptions > rep.Storms[j].Preemptions
 	})
+	analyzeTransfers(&rep, events)
 	analyzeFaults(&rep, events)
 	return rep
+}
+
+// analyzeTransfers aggregates disaggregation kv_ship events into
+// per-lane transfer traffic. Each event carries the destination
+// instance in Inst and the source plus pool roles in its note
+// ("from=N link=prefill>decode").
+func analyzeTransfers(rep *report, events []trace.Event) {
+	type lane struct{ from, to int }
+	agg := map[lane]*xferLink{}
+	for _, e := range events {
+		if e.Kind != trace.KindKVShip {
+			continue
+		}
+		var from int
+		var link string
+		if n, err := fmt.Sscanf(e.Note, "from=%d link=%s", &from, &link); n != 2 || err != nil {
+			continue // not a coordinator shipment note
+		}
+		rep.Transfers++
+		rep.KVBytesShipped += e.Bytes
+		k := lane{from, e.Inst}
+		x := agg[k]
+		if x == nil {
+			x = &xferLink{From: from, To: e.Inst, Link: link}
+			agg[k] = x
+		}
+		x.Transfers++
+		x.Bytes += e.Bytes
+		x.WireMs += e.DurUs / 1e3
+	}
+	for _, x := range agg {
+		rep.XferLinks = append(rep.XferLinks, *x)
+	}
+	sort.Slice(rep.XferLinks, func(i, j int) bool {
+		a, b := rep.XferLinks[i], rep.XferLinks[j]
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		return a.To < b.To
+	})
 }
 
 // print renders the report as text.
@@ -367,6 +427,14 @@ func (r report) print() {
 	}
 	if r.SwapOutBytes > 0 || r.SwapInBytes > 0 {
 		fmt.Printf("swap traffic: %d bytes out, %d bytes in\n", r.SwapOutBytes, r.SwapInBytes)
+	}
+	if r.Transfers > 0 {
+		fmt.Printf("\ntransfer traffic: %d KV shipments, %.1f MB over NIC\n",
+			r.Transfers, float64(r.KVBytesShipped)/(1<<20))
+		for _, x := range r.XferLinks {
+			fmt.Printf("  %d->%d (%s): %d shipments, %.1f MB, %.1f ms wire\n",
+				x.From, x.To, x.Link, x.Transfers, float64(x.Bytes)/(1<<20), x.WireMs)
+		}
 	}
 	if len(r.Storms) == 0 {
 		fmt.Println("preemption storms: none")

@@ -30,6 +30,7 @@ import (
 	"diffkv/internal/baselines"
 	"diffkv/internal/cluster"
 	"diffkv/internal/core"
+	"diffkv/internal/disagg"
 	"diffkv/internal/experiments"
 	"diffkv/internal/faults"
 	"diffkv/internal/gpusim"
@@ -234,6 +235,27 @@ const (
 	RouteRoundRobin     = cluster.PolicyRoundRobin
 	RouteLeastLoaded    = cluster.PolicyLeastLoaded
 	RoutePrefixAffinity = cluster.PolicyPrefixAffinity
+	RouteDisaggAware    = cluster.PolicyDisaggAware
+)
+
+// DisaggPools sizes the prefill and decode pools of a disaggregated
+// cluster (ClusterServerConfig.Disagg): instances [0, Prefill) run
+// prompt passes, the next Decode instances adopt shipped prefills, any
+// remainder serves mixed.
+type DisaggPools = disagg.Config
+
+// DisaggMetrics summarizes a disaggregated run's cross-instance KV
+// shipments (ClusterMetrics.Disagg; nil without disaggregation).
+type DisaggMetrics = cluster.DisaggMetrics
+
+// InstanceRole tags a serving instance's disaggregation pool.
+type InstanceRole = disagg.Role
+
+// Instance pool roles of a disaggregated cluster.
+const (
+	RolePrefill = disagg.RolePrefill
+	RoleDecode  = disagg.RoleDecode
+	RoleMixed   = disagg.RoleMixed
 )
 
 // RoutingPolicy picks a target instance for each request from routable

@@ -94,6 +94,7 @@ var simPackages = []string{
 	"diffkv/internal/core",
 	"diffkv/internal/serving",
 	"diffkv/internal/cluster",
+	"diffkv/internal/disagg",
 	"diffkv/internal/faults",
 	"diffkv/internal/offload",
 	"diffkv/internal/telemetry",
@@ -133,6 +134,7 @@ var stepPathPackages = []string{
 	"diffkv/internal/core",
 	"diffkv/internal/serving",
 	"diffkv/internal/cluster",
+	"diffkv/internal/disagg",
 	"diffkv/internal/faults",
 	"diffkv/internal/offload",
 	"diffkv/internal/telemetry",

@@ -17,6 +17,7 @@ import (
 	"math"
 	"sort"
 
+	"diffkv/internal/disagg"
 	"diffkv/internal/faults"
 	"diffkv/internal/gpusim"
 	"diffkv/internal/serving"
@@ -65,6 +66,14 @@ type Config struct {
 	// slowdown timeline interleaved with the event loop, and wires its
 	// PCIe error rate into every instance's transfer path.
 	Faults *faults.Plan
+	// Disagg enables prefill/decode disaggregation: the fleet is split
+	// into a prefill pool and a decode pool (plus an optional mixed
+	// remainder), each request becomes a prefill sub-request and a
+	// decode sub-request joined by a compressed cross-instance KV
+	// transfer over the device NIC model (see disagg.go). Cannot be
+	// combined with a fault plan — transfer re-routing across crashed
+	// instances is not modeled.
+	Disagg *disagg.Config
 	// Tracer receives cluster dispatch/reject events plus every
 	// instance's engine events, tagged with 1-based instance IDs.
 	Tracer trace.Tracer
@@ -105,6 +114,10 @@ type Cluster struct {
 	steps       int
 	autoID      int
 
+	// disaggregation coordinator state (disagg.go); nil without
+	// Config.Disagg
+	dg *disaggState
+
 	// fault-injection state (faulttol.go); inj nil without a fault plan
 	inj           *faults.Injector
 	health        []Health
@@ -137,6 +150,15 @@ func New(cfg Config) (*Cluster, error) {
 		return nil, err
 	}
 	c := &Cluster{cfg: cfg, policy: policy}
+	if cfg.Disagg != nil {
+		if err := cfg.Disagg.Validate(cfg.Instances); err != nil {
+			return nil, fmt.Errorf("cluster: %w", err)
+		}
+		if cfg.Faults != nil && cfg.Faults.Enabled() {
+			return nil, fmt.Errorf("cluster: fault injection and disaggregation cannot be combined (transfer re-routing across crashed instances is not modeled)")
+		}
+		c.dg = newDisaggState(*cfg.Disagg, cfg.Instances)
+	}
 	if cfg.Faults != nil && cfg.Faults.Enabled() {
 		inj, err := faults.New(*cfg.Faults, cfg.Instances)
 		if err != nil {
@@ -226,6 +248,7 @@ func (c *Cluster) Run(reqs []workload.Request) (Metrics, error) {
 			arrT = pending[0].ArrivalUs
 		}
 		rdT := c.redispatchDue()
+		xT := c.transferDue()
 		fT := c.faultDue()
 		if len(pending) > 0 && c.inj != nil {
 			// pending arrivals keep the fault timeline live even when the
@@ -234,15 +257,20 @@ func (c *Cluster) Run(reqs []workload.Request) (Metrics, error) {
 				fT = at
 			}
 		}
-		if pick == -1 && math.IsInf(arrT, 1) && math.IsInf(rdT, 1) && math.IsInf(fT, 1) {
+		if pick == -1 && math.IsInf(arrT, 1) && math.IsInf(rdT, 1) && math.IsInf(xT, 1) && math.IsInf(fT, 1) {
 			break
 		}
 		// at equal timestamps: faults fire first (a crash at an arrival's
-		// instant is visible to its routing), then re-dispatches, then
-		// arrivals, then instance steps
+		// instant is visible to its routing), then KV transfers land (an
+		// adoption at an arrival's instant is visible to its routing too),
+		// then re-dispatches, then arrivals, then instance steps
 		switch {
-		case fT <= rdT && fT <= arrT && fT <= stepT:
+		case fT <= xT && fT <= rdT && fT <= arrT && fT <= stepT:
 			if err := c.processFault(); err != nil {
+				return c.finishMetrics(), err
+			}
+		case xT <= rdT && xT <= arrT && xT <= stepT:
+			if err := c.processTransfer(); err != nil {
 				return c.finishMetrics(), err
 			}
 		case rdT <= arrT && rdT <= stepT:
@@ -261,6 +289,12 @@ func (c *Cluster) Run(reqs []workload.Request) (Metrics, error) {
 			}
 			for i := range comps {
 				comps[i].Inst = pick + 1
+			}
+			comps, err = c.settle(pick, comps)
+			if err != nil {
+				return c.finishMetrics(), err
+			}
+			for i := range comps {
 				c.acc.complete(pick, comps[i])
 			}
 			c.recordTelemetry(comps)
@@ -270,7 +304,10 @@ func (c *Cluster) Run(reqs []workload.Request) (Metrics, error) {
 }
 
 // dispatch routes one request: snapshot the fleet, filter saturated
-// instances (admission control), let the policy pick, and submit.
+// instances (admission control), let the policy pick, and submit. Under
+// disaggregation the prefill sub-request is submitted and the parent
+// parked until its prefill child completes (settle / shipPrefill);
+// accounting always sees the parent, so a request is dispatched once.
 func (c *Cluster) dispatch(r workload.Request) {
 	idx, ok := c.route(r)
 	if !ok {
@@ -278,7 +315,16 @@ func (c *Cluster) dispatch(r workload.Request) {
 		c.emit(trace.Event{Kind: trace.KindReject, TimeUs: r.ArrivalUs, Seq: r.ID})
 		return
 	}
-	c.engines[idx].Submit(r)
+	if c.dg != nil {
+		pre, handoff := disagg.Split(r)
+		c.engines[idx].Submit(pre)
+		if handoff {
+			c.engines[idx].MarkHandoff(r.ID)
+			c.dg.await[r.ID] = r
+		}
+	} else {
+		c.engines[idx].Submit(r)
+	}
 	if c.cfg.Telemetry != nil {
 		c.cfg.Telemetry.RecordOpen(r.PromptLen)
 	}
@@ -288,12 +334,18 @@ func (c *Cluster) dispatch(r workload.Request) {
 }
 
 // route snapshots the fleet, filters saturated instances and lets the
-// policy pick. Reports false when every instance is saturated.
+// policy pick. Reports false when every instance is saturated. Under
+// disaggregation decode-pool instances never take fresh prompts (they
+// only adopt shipped prefills), so they are filtered here regardless of
+// the policy in use.
 func (c *Cluster) route(r workload.Request) (int, bool) {
 	snaps := make([]Snapshot, 0, len(c.engines))
 	for i, e := range c.engines {
 		if c.down(i) {
 			continue // crashed: unroutable until restart
+		}
+		if c.dg != nil && c.dg.roles[i] == disagg.RoleDecode {
+			continue // decode pool: adopts shipped prefills only
 		}
 		s := Snapshot{
 			ID:             i,
@@ -303,6 +355,7 @@ func (c *Cluster) route(r workload.Request) (int, bool) {
 			SwappedTokens:  e.SwappedTokens(),
 			ClockUs:        float64(e.Clock()),
 			Degraded:       c.health != nil && c.health[i] == Degraded,
+			Role:           c.Role(i),
 		}
 		if c.cfg.MaxQueueDepth > 0 && s.QueueDepth >= c.cfg.MaxQueueDepth {
 			continue // saturated: unroutable
@@ -364,7 +417,11 @@ func (c *Cluster) Open(ctx context.Context, r workload.Request) (*serving.Sessio
 		c.emit(trace.Event{Kind: trace.KindReject, TimeUs: r.ArrivalUs, Seq: r.ID})
 		return nil, ErrAllSaturated
 	}
-	s, err := c.engines[idx].Open(ctx, r)
+	sub, handoff := r, false
+	if c.dg != nil {
+		sub, handoff = disagg.Split(r)
+	}
+	s, err := c.engines[idx].Open(ctx, sub)
 	if err != nil {
 		// invalid request (duplicate ID, no GenLen): no state changed, so
 		// the cluster stays usable either way
@@ -374,7 +431,16 @@ func (c *Cluster) Open(ctx context.Context, r workload.Request) (*serving.Sessio
 	c.acc.m.Submitted++
 	// the engine may have auto-assigned the request ID and clamped the
 	// arrival time; observe and account the request as actually submitted
+	// (under disaggregation that is the parent: the session handle follows
+	// the KV across the handoff, the request completes once on its decode
+	// instance)
+	genLen := r.GenLen
 	r = s.Request()
+	if handoff {
+		r.GenLen = genLen
+		c.engines[idx].MarkHandoff(r.ID)
+		c.dg.await[r.ID] = r
+	}
 	if c.cfg.Telemetry != nil {
 		c.cfg.Telemetry.RecordOpen(r.PromptLen)
 	}
@@ -415,11 +481,16 @@ func (c *Cluster) stepNext() ([]serving.Completion, bool, error) {
 			stepT, pick = float64(t), i
 		}
 	}
-	// fault events and re-dispatch deadlines interleave with steps in
-	// timestamp order, faults first at ties
+	// fault events, KV-transfer deliveries and re-dispatch deadlines
+	// interleave with steps in timestamp order, faults first at ties,
+	// transfers next
 	rdT := c.redispatchDue()
-	if fT := c.faultDue(); !math.IsInf(fT, 1) && fT <= rdT && fT <= stepT {
+	xT := c.transferDue()
+	if fT := c.faultDue(); !math.IsInf(fT, 1) && fT <= xT && fT <= rdT && fT <= stepT {
 		return nil, true, c.processFault()
+	}
+	if !math.IsInf(xT, 1) && xT <= rdT && xT <= stepT {
+		return nil, true, c.processTransfer()
 	}
 	if !math.IsInf(rdT, 1) && rdT <= stepT {
 		return nil, true, c.processRedispatch()
@@ -434,6 +505,10 @@ func (c *Cluster) stepNext() ([]serving.Completion, bool, error) {
 	}
 	for i := range comps {
 		comps[i].Inst = pick + 1
+	}
+	comps, err = c.settle(pick, comps)
+	if err != nil {
+		return nil, true, err
 	}
 	if c.acc != nil {
 		for _, cp := range comps {
@@ -487,17 +562,21 @@ func (c *Cluster) ReapSessions() {
 }
 
 // HasWork reports whether any instance has queued, running or swapped
-// requests, or a crash orphan awaits re-dispatch.
+// requests, a crash orphan awaits re-dispatch, or a KV transfer is on
+// the wire.
 func (c *Cluster) HasWork() bool {
 	if len(c.redispatchQ) > 0 {
+		return true
+	}
+	if c.dg != nil && c.dg.xq.Len() > 0 {
 		return true
 	}
 	return c.engineWork()
 }
 
 // NextTime returns the simulated time of the earliest next event — a
-// live instance's step, a re-dispatch deadline, or a due fault event —
-// and false when the cluster is idle.
+// live instance's step, a re-dispatch deadline, a KV-transfer delivery,
+// or a due fault event — and false when the cluster is idle.
 func (c *Cluster) NextTime() (gpusim.Micros, bool) {
 	best, ok := gpusim.Micros(0), false
 	for i, e := range c.engines {
@@ -510,6 +589,9 @@ func (c *Cluster) NextTime() (gpusim.Micros, bool) {
 	}
 	if rdT := c.redispatchDue(); !math.IsInf(rdT, 1) && (!ok || gpusim.Micros(rdT) < best) {
 		best, ok = gpusim.Micros(rdT), true
+	}
+	if xT := c.transferDue(); !math.IsInf(xT, 1) && (!ok || gpusim.Micros(xT) < best) {
+		best, ok = gpusim.Micros(xT), true
 	}
 	if fT := c.faultDue(); !math.IsInf(fT, 1) && (!ok || gpusim.Micros(fT) < best) {
 		best, ok = gpusim.Micros(fT), true
@@ -537,6 +619,9 @@ func (c *Cluster) Stats() serving.DriverStats {
 		inst := es.PerInstance[0]
 		inst.Inst = i + 1 // retag with the fleet-wide instance number
 		inst.Health = string(c.InstanceHealth(i))
+		if c.dg != nil {
+			inst.Role = string(c.dg.roles[i])
+		}
 		if c.perInstRedisp != nil {
 			inst.Redispatched = c.perInstRedisp[i]
 		}
@@ -571,6 +656,18 @@ func (c *Cluster) Stats() serving.DriverStats {
 		ds.GoodputTokensPerSec = doneTok / (ds.ClockUs / 1e6)
 	}
 	ds.SwapRecovered = c.swapRecovered
+	if c.dg != nil {
+		// each shipped prefill child also counted as an engine completion;
+		// subtract so Completed means whole requests, matching Metrics
+		ds.Completed -= c.dg.transfers
+		ds.KVTransfers = c.dg.transfers
+		ds.KVBytesShipped = c.dg.bytes
+		for _, lb := range c.dg.ledger.Links() {
+			ds.KVShipLinks = append(ds.KVShipLinks, serving.KVLink{
+				From: lb.From, To: lb.To, Bytes: lb.Bytes, Transfers: lb.Transfers,
+			})
+		}
+	}
 	return ds
 }
 
@@ -588,6 +685,19 @@ func (c *Cluster) finishMetrics() Metrics {
 		m.BrownoutAdmits += e.BrownoutAdmits()
 		if c.perInstRedisp != nil {
 			m.PerInstance[i].Redispatched = c.perInstRedisp[i]
+		}
+	}
+	if c.dg != nil {
+		m.Disagg = &DisaggMetrics{
+			PrefillInstances: c.dg.cfg.PrefillInstances,
+			DecodeInstances:  c.dg.cfg.DecodeInstances,
+			Transfers:        c.dg.transfers,
+			KVBytesShipped:   c.dg.bytes,
+			XferSeconds:      c.dg.xferUs / 1e6,
+			Links:            c.dg.ledger.Links(),
+		}
+		for i := range m.PerInstance {
+			m.PerInstance[i].Role = string(c.dg.roles[i])
 		}
 	}
 	return m

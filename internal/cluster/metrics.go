@@ -41,6 +41,12 @@ type InstanceStats struct {
 	// Redispatched counts crash orphans this instance accepted from
 	// other instances' failures (0 without a fault plan).
 	Redispatched int
+	// Role is the instance's disaggregation pool ("prefill", "decode",
+	// "mixed"); empty without disaggregation. Under disaggregation a
+	// prefill instance's Dispatched and a decode instance's Completed
+	// need not match: requests enter through one pool and leave through
+	// the other.
+	Role string
 }
 
 // Metrics aggregates one cluster run: request accounting, SLO latency
@@ -116,6 +122,10 @@ type Metrics struct {
 	SwapRecovered  int
 	LostKVBytes    int64
 	BrownoutAdmits int
+
+	// Disagg summarizes the run's prefill→decode KV shipments (nil
+	// without disaggregation).
+	Disagg *DisaggMetrics
 }
 
 // Stuck counts dispatched requests that reached no terminal state:

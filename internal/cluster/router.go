@@ -3,6 +3,7 @@ package cluster
 import (
 	"fmt"
 
+	"diffkv/internal/disagg"
 	"diffkv/internal/registry"
 	"diffkv/internal/workload"
 )
@@ -26,6 +27,11 @@ type Snapshot struct {
 	// slowdown: routable, but load-aware policies down-weight it.
 	// Crashed (down) instances never appear in a snapshot at all.
 	Degraded bool
+	// Role is the instance's disaggregation pool role (mixed without
+	// disaggregation). Dispatch snapshots never contain decode-pool
+	// instances — those only adopt shipped prefills — so role-aware
+	// policies choose between prefill and mixed here.
+	Role disagg.Role
 }
 
 // Policy picks a target instance for each request. Pick receives only
@@ -48,6 +54,7 @@ const (
 	PolicyRoundRobin     = "round-robin"
 	PolicyLeastLoaded    = "least-loaded"
 	PolicyPrefixAffinity = "prefix-affinity"
+	PolicyDisaggAware    = "disagg-aware"
 )
 
 // PolicyFactory builds a fresh routing policy instance for one cluster.
@@ -88,6 +95,47 @@ func init() {
 	mustRegisterPolicy(PolicyPrefixAffinity, func(cfg Config) (Policy, error) {
 		return NewPrefixAffinity(cfg.BlockTokens, cfg.AffinityQueueBound, cfg.IndexCapacity), nil
 	})
+	mustRegisterPolicy(PolicyDisaggAware, func(Config) (Policy, error) {
+		return NewDisaggAware(), nil
+	})
+}
+
+// disaggAware routes by pool role: fresh prompts go least-loaded across
+// the prefill pool (mixed instances only absorb overflow once every
+// prefill instance carries more load), and shipped prefills go
+// least-loaded across the decode pool with the same mixed-overflow
+// rule. On a non-disaggregated cluster every instance is mixed and the
+// policy degenerates to least-loaded.
+type disaggAware struct{}
+
+// NewDisaggAware returns the disagg-aware routing policy.
+func NewDisaggAware() Policy { return disaggAware{} }
+
+func (disaggAware) Name() string { return PolicyDisaggAware }
+
+func (disaggAware) Pick(_ workload.Request, snaps []Snapshot) int {
+	return pickByRole(snaps, disagg.RolePrefill)
+}
+
+// PickDecode implements the decode-side selection for shipped prefills
+// (the coordinator's decodePicker hook).
+func (disaggAware) PickDecode(_ workload.Request, snaps []Snapshot) int {
+	return pickByRole(snaps, disagg.RoleDecode)
+}
+
+// pickByRole is least-loaded restricted to the wanted pool, falling
+// back to the least-loaded instance of any other role only when the
+// wanted pool is absent from the snapshot set (saturated or not
+// configured).
+func pickByRole(snaps []Snapshot, want disagg.Role) int {
+	best, bestWant, has := Snapshot{}, false, false
+	for _, s := range snaps {
+		w := s.Role == want
+		if !has || (w && !bestWant) || (w == bestWant && less(s, best)) {
+			best, bestWant, has = s, w, true
+		}
+	}
+	return best.ID
 }
 
 // roundRobin cycles through instances in ID order, skipping over instances

@@ -38,8 +38,8 @@ func TestOptsDefaults(t *testing.T) {
 
 func TestRegistryComplete(t *testing.T) {
 	// every paper artifact, the ablations, and the cluster + offload +
-	// chaos experiments
-	if len(Registry) != 17+7+3 {
+	// chaos + disagg experiments
+	if len(Registry) != 17+7+4 {
 		t.Fatalf("registry has %d entries", len(Registry))
 	}
 	ids := IDs()

@@ -35,6 +35,9 @@ var Registry = map[string]Runner{
 	// beyond the paper: fault injection and failure recovery (DESIGN.md
 	// §13) — swap-recovery vs recompute-recovery goodput under crashes
 	"chaos": Chaos,
+	// beyond the paper: prefill/decode disaggregation with compressed
+	// cross-instance KV transfer (DESIGN.md §16)
+	"disagg": Disagg,
 	// design-choice ablations beyond the paper's headline results
 	// (DESIGN.md §6)
 	"abl-scan":     AblationScan,

@@ -46,6 +46,18 @@ type Device struct {
 	// and page-table updates). Calibrated, not datasheet: transfers
 	// overlap well until they contend with the attention kernels for HBM.
 	PCIeOverlapFrac float64
+	// NICBandwidth is cross-instance network bandwidth in bytes/µs (the
+	// per-GPU share of the node's RDMA-capable fabric), NICLatency the
+	// fixed per-message cost (link + switch traversal + registration),
+	// and NICOverlapFrac the fraction of an incoming transfer's DMA that
+	// hides behind concurrent kernel execution on the receiving device —
+	// the NIC writes GPU memory through the same copy engines as PCIe,
+	// so ingest contends with attention for HBM just like swap-in does.
+	// These parameterize disaggregated prefill→decode KV shipment
+	// (NICTransfer / NICStall).
+	NICBandwidth   float64
+	NICLatency     Micros
+	NICOverlapFrac float64
 	// MemoryBytes is total device memory.
 	MemoryBytes int64
 	// CPUTokenOpMicros is the per-token bookkeeping cost of the on-CPU
@@ -73,6 +85,9 @@ func L40() *Device {
 		PCIeBandwidth:   16e3, // 16 GB/s effective PCIe 4.0 x16
 		PCIeLatency:     10,
 		PCIeOverlapFrac: 0.6,
+		NICBandwidth:    12.5e3, // 100 GbE RoCE, ~12.5 GB/s effective
+		NICLatency:      25,
+		NICOverlapFrac:  0.7,
 		MemoryBytes:     48 << 30,
 		// ~4.4 µs per token-region op on the CPU path, thread pool grows
 		// with batch up to 96 threads (matches the sublinear batch scaling
@@ -119,6 +134,9 @@ func A100() *Device {
 		PCIeBandwidth:    25e3,
 		PCIeLatency:      10,
 		PCIeOverlapFrac:  0.6,
+		NICBandwidth:     25e3, // 200 Gb/s HDR InfiniBand
+		NICLatency:       15,
+		NICOverlapFrac:   0.75,
 		MemoryBytes:      80 << 30,
 		CPUTokenOpMicros: 4.4,
 		CPUThreadsMax:    96,
@@ -138,6 +156,9 @@ func H100() *Device {
 		PCIeBandwidth:    50e3,
 		PCIeLatency:      8,
 		PCIeOverlapFrac:  0.7,
+		NICBandwidth:     50e3, // 400 Gb/s NDR InfiniBand
+		NICLatency:       12,
+		NICOverlapFrac:   0.8,
 		MemoryBytes:      80 << 30,
 		CPUTokenOpMicros: 4.4,
 		CPUThreadsMax:    96,

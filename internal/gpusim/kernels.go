@@ -135,6 +135,43 @@ func (d *Device) TransferStall(xfer, compute Micros) Micros {
 	return xfer - hidden
 }
 
+// NICTransfer returns the duration of one cross-instance network transfer
+// moving `bytes` between two serving instances: the fixed per-message
+// latency (link + switch traversal + memory registration) plus the
+// bandwidth term. Disaggregated serving uses it to price shipping a
+// finished prefill's KV pages to the chosen decode instance — compressed
+// pages cross the wire at their packed size, so a K4V2 sequence ships
+// several times cheaper than FP16.
+func (d *Device) NICTransfer(bytes float64) Micros {
+	if bytes <= 0 {
+		return 0
+	}
+	return d.NICLatency + Micros(bytes/d.NICBandwidth)
+}
+
+// NICStall returns the portion of an incoming network transfer's device
+// DMA that cannot hide behind concurrent kernel execution of `compute`
+// duration on the receiving instance: the NIC writes GPU memory through
+// the copy engines, overlapping up to NICOverlapFrac of the compute
+// window, and the excess stalls the stream — the ingest tax a decode
+// instance pays when it adopts a shipped sequence mid-batch.
+func (d *Device) NICStall(xfer, compute Micros) Micros {
+	if xfer <= 0 {
+		return 0
+	}
+	overlap := d.NICOverlapFrac
+	if overlap < 0 {
+		overlap = 0
+	} else if overlap > 1 {
+		overlap = 1
+	}
+	hidden := Micros(overlap * float64(compute))
+	if hidden >= xfer {
+		return 0
+	}
+	return xfer - hidden
+}
+
 // SchedulerOverhead is the per-step host-side scheduling cost for a batch.
 func (d *Device) SchedulerOverhead(batch int) Micros {
 	return Micros(40 + 2*float64(batch))

@@ -1,0 +1,81 @@
+package gpusim
+
+import "testing"
+
+// TestNICTransferZeroBytes pins the fast path: a zero- or negative-byte
+// transfer costs nothing — no per-message latency is charged for
+// sequences with no KV to ship (e.g. a fully cached prefill).
+func TestNICTransferZeroBytes(t *testing.T) {
+	for _, d := range Devices() {
+		if got := d.NICTransfer(0); got != 0 {
+			t.Fatalf("%s: NICTransfer(0) = %v, want 0", d.Name, got)
+		}
+		if got := d.NICTransfer(-1); got != 0 {
+			t.Fatalf("%s: NICTransfer(-1) = %v, want 0", d.Name, got)
+		}
+	}
+}
+
+// TestNICTransferMonotonic pins strict monotonicity in bytes: more KV on
+// the wire always costs more, and every positive transfer pays at least
+// the fixed per-message latency.
+func TestNICTransferMonotonic(t *testing.T) {
+	for _, d := range Devices() {
+		if d.NICBandwidth <= 0 || d.NICLatency <= 0 {
+			t.Fatalf("%s: NIC model not calibrated (bw=%v lat=%v)",
+				d.Name, d.NICBandwidth, d.NICLatency)
+		}
+		prev := Micros(0)
+		for _, bytes := range []float64{1, 4 << 10, 1 << 20, 64 << 20, 1 << 30} {
+			got := d.NICTransfer(bytes)
+			if got <= prev {
+				t.Fatalf("%s: NICTransfer(%g) = %v, not above %v", d.Name, bytes, got, prev)
+			}
+			if got < d.NICLatency {
+				t.Fatalf("%s: NICTransfer(%g) = %v below fixed latency %v",
+					d.Name, bytes, got, d.NICLatency)
+			}
+			prev = got
+		}
+	}
+}
+
+// TestNICTransferCalibration sanity-checks the bandwidth term against the
+// configured link rate: a large transfer's duration must converge to
+// bytes/NICBandwidth within the fixed latency.
+func TestNICTransferCalibration(t *testing.T) {
+	for _, d := range Devices() {
+		bytes := float64(1 << 30)
+		want := Micros(bytes / d.NICBandwidth)
+		got := d.NICTransfer(bytes)
+		if got < want || got > want+d.NICLatency {
+			t.Fatalf("%s: NICTransfer(1GiB) = %v, want [%v, %v]",
+				d.Name, got, want, want+d.NICLatency)
+		}
+	}
+}
+
+// TestNICStall pins the overlap model: zero transfers stall nothing, a
+// transfer fully covered by overlapping compute stalls nothing, and a
+// transfer with no compute to hide behind stalls in full.
+func TestNICStall(t *testing.T) {
+	d := L40()
+	if got := d.NICStall(0, 1000); got != 0 {
+		t.Fatalf("NICStall(0, 1000) = %v, want 0", got)
+	}
+	if got := d.NICStall(100, 0); got != 100 {
+		t.Fatalf("NICStall(100, 0) = %v, want 100 (nothing to hide behind)", got)
+	}
+	// xfer far smaller than overlap * compute: fully hidden
+	if got := d.NICStall(10, 1e6); got != 0 {
+		t.Fatalf("NICStall(10, 1e6) = %v, want 0 (fully hidden)", got)
+	}
+	// partial: xfer 1000, compute 1000, overlap 0.7 -> 300 exposed
+	if got := d.NICStall(1000, 1000); got != Micros(1000-0.7*1000) {
+		t.Fatalf("NICStall(1000, 1000) = %v, want 300", got)
+	}
+	// monotone in xfer for fixed compute
+	if d.NICStall(2000, 1000) <= d.NICStall(1000, 1000) {
+		t.Fatal("NICStall not monotone in transfer size")
+	}
+}

@@ -86,6 +86,9 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	instCounter("diffkv_swap_in_bytes_total", "Bytes swapped back in from the host tier (unlabeled: fleet total; inst label: per instance).",
 		float64(d.SwapInBytes), func(is serving.InstanceStats) float64 { return float64(is.SwapInBytes) })
 	counter("diffkv_host_prefix_hits_total", "Prefix-cache entries served back from host memory.", float64(d.HostPrefixHits))
+	if disaggRun(d) {
+		writeDisaggMetrics(&b, d)
+	}
 	gauge("diffkv_throughput_tokens_per_sec", "Generated tokens per simulated second.", d.ThroughputTokensPerSec)
 	gauge("diffkv_goodput_tokens_per_sec", "Completed requests' tokens per simulated second.", d.GoodputTokensPerSec)
 	summary("diffkv_ttft_seconds", "Time to first token (simulated seconds).", m.TTFT, m.Completed)
@@ -113,6 +116,58 @@ func boolGauge(b bool) float64 {
 		return 1
 	}
 	return 0
+}
+
+// disaggRun reports whether the driver serves a disaggregated cluster
+// (pool roles assigned), which gates the disagg metric families.
+func disaggRun(d serving.DriverStats) bool {
+	for _, is := range d.PerInstance {
+		if is.Role != "" {
+			return true
+		}
+	}
+	return false
+}
+
+// writeDisaggMetrics appends the disaggregation families: the KV
+// shipment counters with an unlabeled fleet total plus one
+// {from,to} series per prefill→decode lane, and per-pool load gauges
+// aggregated over instance roles.
+func writeDisaggMetrics(b *strings.Builder, d serving.DriverStats) {
+	fmt.Fprintf(b, "# HELP diffkv_kv_transfers_total Prefill-to-decode KV shipments over the NIC (unlabeled: fleet total; from/to labels: per lane).\n# TYPE diffkv_kv_transfers_total counter\n")
+	fmt.Fprintf(b, "diffkv_kv_transfers_total %d\n", d.KVTransfers)
+	for _, l := range d.KVShipLinks {
+		fmt.Fprintf(b, "diffkv_kv_transfers_total{from=\"%d\",to=\"%d\"} %d\n", l.From, l.To, l.Transfers)
+	}
+	fmt.Fprintf(b, "# HELP diffkv_kv_bytes_shipped_total Compressed KV bytes shipped prefill-to-decode over the NIC (unlabeled: fleet total; from/to labels: per lane).\n# TYPE diffkv_kv_bytes_shipped_total counter\n")
+	fmt.Fprintf(b, "diffkv_kv_bytes_shipped_total %d\n", d.KVBytesShipped)
+	for _, l := range d.KVShipLinks {
+		fmt.Fprintf(b, "diffkv_kv_bytes_shipped_total{from=\"%d\",to=\"%d\"} %d\n", l.From, l.To, l.Bytes)
+	}
+
+	poolGauge := func(name, help string, per func(serving.InstanceStats) float64) {
+		byPool := map[string]float64{}
+		for _, is := range d.PerInstance {
+			if is.Role != "" {
+				byPool[is.Role] += per(is)
+			}
+		}
+		pools := make([]string, 0, len(byPool))
+		for p := range byPool {
+			pools = append(pools, p)
+		}
+		sort.Strings(pools)
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+		for _, p := range pools {
+			fmt.Fprintf(b, "%s{pool=%q} %g\n", name, p, byPool[p])
+		}
+	}
+	poolGauge("diffkv_pool_queue_depth", "Requests awaiting admission, summed per disaggregation pool.",
+		func(is serving.InstanceStats) float64 { return float64(is.QueueDepth) })
+	poolGauge("diffkv_pool_running_requests", "Admitted, in-flight requests, summed per disaggregation pool.",
+		func(is serving.InstanceStats) float64 { return float64(is.Running) })
+	poolGauge("diffkv_pool_instances", "Serving instances per disaggregation pool.",
+		func(serving.InstanceStats) float64 { return 1 })
 }
 
 // histStride thins the 70-bucket telemetry layout to every 5th bound

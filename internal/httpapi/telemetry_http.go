@@ -13,6 +13,8 @@ import (
 	"net/http"
 	"strconv"
 	"time"
+
+	"diffkv/internal/serving"
 )
 
 // handleTelemetry serves GET /debug/telemetry: one snapshot, rendered
@@ -23,8 +25,56 @@ func (g *Gateway) handleTelemetry(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "invalid_request_error", "GET only")
 		return
 	}
+	doc, err := g.telemetryDoc()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "server_error", err.Error())
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(g.cfg.Telemetry.Snapshot())
+	w.Write(append(doc, '\n'))
+}
+
+// disaggSection is the /debug/telemetry "disagg" key: pool-split KV
+// shipping state derived from the driver, not the telemetry center.
+type disaggSection struct {
+	Transfers      int              `json:"transfers"`
+	KVBytesShipped int64            `json:"kv_bytes_shipped"`
+	Links          []serving.KVLink `json:"links,omitempty"`
+	Pools          map[string]int   `json:"pools"`
+}
+
+// telemetryDoc renders the telemetry snapshot, augmented with a
+// "disagg" section from the live driver stats when the cluster is
+// disaggregated. The snapshot's own keys are untouched — consumers
+// that don't know the extra key (diffkv-top) ignore it.
+func (g *Gateway) telemetryDoc() ([]byte, error) {
+	data, err := json.Marshal(g.cfg.Telemetry.Snapshot())
+	if err != nil {
+		return nil, err
+	}
+	d := g.cfg.Loop.Metrics().Driver
+	if !disaggRun(d) {
+		return data, nil
+	}
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, err
+	}
+	sec := disaggSection{
+		Transfers:      d.KVTransfers,
+		KVBytesShipped: d.KVBytesShipped,
+		Links:          d.KVShipLinks,
+		Pools:          map[string]int{},
+	}
+	for _, is := range d.PerInstance {
+		if is.Role != "" {
+			sec.Pools[is.Role]++
+		}
+	}
+	if doc["disagg"], err = json.Marshal(sec); err != nil {
+		return nil, err
+	}
+	return json.Marshal(doc)
 }
 
 // streamIntervalBounds clamp the client-supplied ?interval_ms.
@@ -76,7 +126,7 @@ func (g *Gateway) handleTelemetryStream(w http.ResponseWriter, r *http.Request) 
 	defer ticker.Stop()
 
 	send := func() bool {
-		data, err := json.Marshal(g.cfg.Telemetry.Snapshot())
+		data, err := g.telemetryDoc()
 		if err != nil {
 			return false
 		}

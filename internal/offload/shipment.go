@@ -1,0 +1,44 @@
+package offload
+
+// Cross-instance KV shipment: the disaggregated prefill→decode handoff
+// reuses the materialized swap payload format (raw.go) to move a
+// sequence between two *different* managers — the prefill instance's
+// pool and the decode instance's pool — instead of between one manager
+// and the host tier. The payload is the same byte-exact capture the
+// swap path uses, so a shipped sequence restores bit-identically at
+// every quant tier; the pinned test in shipment_test.go holds the
+// simulator's counts-mode handoff (serving.KVExport / AdoptCounts) to
+// the standard this materialized path executes for real.
+
+import (
+	"fmt"
+
+	"diffkv/internal/kvcache"
+)
+
+// CaptureShipment serializes a materialized sequence's live tokens
+// byte-exactly for cross-instance shipment, returning the packed
+// payload and the per-head tier counts the receiving manager adopts.
+func CaptureShipment(mgr *kvcache.Manager, seqID int) ([]byte, []kvcache.HeadDemand, error) {
+	counts, err := mgr.HeadCounts(seqID, nil)
+	if err != nil {
+		return nil, nil, fmt.Errorf("offload: capture shipment %d: %w", seqID, err)
+	}
+	payload, err := captureRaw(mgr, seqID)
+	if err != nil {
+		return nil, nil, fmt.Errorf("offload: capture shipment %d: %w", seqID, err)
+	}
+	return payload, counts, nil
+}
+
+// RestoreShipment rebuilds a shipped sequence byte-exactly in the
+// receiving manager via the AppendRaw path. The receiving manager must
+// share the sending manager's geometry (dim, precisions); on any
+// failure the partial restore is released so the shipment can be
+// retried elsewhere.
+func RestoreShipment(mgr *kvcache.Manager, seqID int, counts []kvcache.HeadDemand, payload []byte) error {
+	if err := restoreRaw(mgr, seqID, counts, payload); err != nil {
+		return fmt.Errorf("offload: restore shipment %d: %w", seqID, err)
+	}
+	return nil
+}

@@ -225,6 +225,7 @@ type seqState struct {
 	firstTokUs float64 // clock when the prompt phase completed
 	swapBytes  int64   // D2H bytes of the latest swap-out (trace payload)
 	brownout   bool    // admitted at the all-low tier (graceful degradation)
+	adoptedGen int     // tokens generated elsewhere before a disagg adoption
 }
 
 // prefixEntry tracks one resident shared-prefix group.
@@ -280,6 +281,17 @@ type Engine struct {
 	// here: they carry pre-crash preemption counts, but that admission
 	// is a re-dispatch (already in RetryUs), not a preemption retry
 	readmitted map[int]bool
+
+	// disaggregated handoff state (handoff.go): exportOn marks prefill
+	// children whose completion must retain the sequence's KV shape,
+	// exports holds captured KVExports awaiting cluster pickup, adopts
+	// holds shipped sequences awaiting decode-side admission, and
+	// pendingNIC is the landed transfers' ingest DMA charged to the next
+	// step overlapped against its compute
+	exportOn   map[int]bool
+	exports    map[int]*KVExport
+	adopts     map[int]*KVExport
+	pendingNIC gpusim.Micros
 
 	// session state (Open / DrainContext): per-request handles with token
 	// callbacks and cancellation (see session.go)
@@ -490,6 +502,10 @@ func (e *Engine) NextTime() (gpusim.Micros, bool) {
 // Clock returns the engine's simulated clock in microseconds.
 func (e *Engine) Clock() gpusim.Micros { return e.clock }
 
+// Device returns the engine's GPU device model (for cross-instance cost
+// models — the cluster prices NIC transfers with the receiver's device).
+func (e *Engine) Device() *gpusim.Device { return e.dev }
+
 // QueueDepth returns how many submitted requests await admission.
 func (e *Engine) QueueDepth() int { return len(e.pending) }
 
@@ -594,6 +610,18 @@ func (e *Engine) admit() error {
 		r := e.pending[0]
 		if e.admitBlocked && len(e.running) > 0 {
 			break
+		}
+		// shipped prefilled sequences adopt their exported page shape
+		// instead of re-running the prompt (disaggregated handoff)
+		if exp, ok := e.adopts[r.ID]; ok {
+			admitted, err := e.admitAdopted(r, exp)
+			if err != nil {
+				return err
+			}
+			if !admitted {
+				break // pages not yet available; retry after a completion
+			}
+			continue
 		}
 		if len(e.running) > 0 && !e.hasCapacityFor(r) {
 			break
@@ -787,6 +815,11 @@ func (e *Engine) step() ([]Completion, error) {
 		bd.Offload += e.dev.TransferStall(e.pendingXfer, bd.ModelExec+bd.Compressor)
 		e.pendingXfer = 0
 	}
+	// NIC ingest stall from disagg adoptions admitted before this step
+	if e.pendingNIC > 0 {
+		bd.Offload += e.dev.NICStall(e.pendingNIC, bd.ModelExec+bd.Compressor)
+		e.pendingNIC = 0
+	}
 	if isPrompt {
 		e.agg.Prompt.Scheduler += bd.Scheduler
 		e.agg.Prompt.MemMgmt += bd.MemMgmt
@@ -851,12 +884,20 @@ func (e *Engine) step() ([]Completion, error) {
 			e.agg.Completed++
 			e.admitBlocked = false
 			e.emit(trace.Event{Kind: trace.KindComplete, TimeUs: float64(e.clock), Seq: st.req.ID})
+			// a handoff-marked prefill child retains its KV shape for the
+			// cluster to ship (TakeExport) before the pages are released
+			exported := e.exportOn[st.req.ID]
+			if exported {
+				if err := e.exportSeq(st); err != nil {
+					return done, err
+				}
+			}
 			if e.mgr != nil {
 				if err := e.mgr.ReleaseSequence(st.req.ID); err != nil {
 					return done, err
 				}
 			}
-			e.doneTokens += int64(st.req.GenLen)
+			e.doneTokens += int64(st.req.GenLen - st.adoptedGen)
 			cp := Completion{
 				Req:                st.req,
 				FirstTokenUs:       st.firstTokUs,
@@ -881,8 +922,14 @@ func (e *Engine) step() ([]Completion, error) {
 			}
 			if s, ok := e.sessions[st.req.ID]; ok {
 				delete(e.sessions, st.req.ID)
-				s.generated = st.req.GenLen
-				s.finish(cp, nil)
+				if exported {
+					// the session survives the handoff: it detaches here
+					// and rebinds to the decode engine at SubmitPrefilled
+					e.exports[st.req.ID].Sess = s
+				} else {
+					s.generated = st.req.GenLen
+					s.finish(cp, nil)
+				}
 			}
 			done = append(done, cp)
 			continue

@@ -91,6 +91,13 @@ type DriverStats struct {
 	SwapOutBytes   int64
 	SwapInBytes    int64
 	HostPrefixHits int
+	// Disaggregated prefill/decode handoff traffic (all zero without
+	// disaggregation): KVTransfers counts prefill→decode shipments,
+	// KVBytesShipped their compressed payload bytes on the wire, and
+	// KVShipLinks the per-(from,to) instance-pair breakdown.
+	KVTransfers    int
+	KVBytesShipped int64
+	KVShipLinks    []KVLink
 	// PerInstance breaks the load gauges down per serving instance (one
 	// entry for an engine, N for a cluster) so a scrape can tell a hot
 	// instance from a balanced fleet.
@@ -125,6 +132,17 @@ type InstanceStats struct {
 	Preemptions  int
 	SwapOutBytes int64
 	SwapInBytes  int64
+	// Role is the instance's disaggregation pool ("prefill", "decode" or
+	// "mixed"); empty without disaggregation.
+	Role string
+}
+
+// KVLink is one directed instance pair's lifetime disaggregated KV
+// shipment traffic (instance tags are 1-based, matching trace events).
+type KVLink struct {
+	From, To  int
+	Bytes     int64
+	Transfers int
 }
 
 // LoopConfig parameterizes a Loop.

@@ -31,6 +31,10 @@ const (
 	// PhaseSwapped is a swap preemption: the request's KV lives in host
 	// memory and it waits for swap-in.
 	PhaseSwapped Phase = "swapped"
+	// PhaseXferInst is a disaggregated handoff: the finished prefill's
+	// KV pages are crossing the NIC to the chosen decode instance and
+	// the request can make no progress until they land.
+	PhaseXferInst Phase = "xfer:inst"
 )
 
 // PhaseBreakdown attributes a request's end-to-end latency across
@@ -42,6 +46,9 @@ type PhaseBreakdown struct {
 	DecodeUs  float64 `json:"decode_us"`
 	StallUs   float64 `json:"stall_us,omitempty"`
 	SwappedUs float64 `json:"swapped_us,omitempty"`
+	// XferUs is cross-instance KV shipment time (disaggregated serving's
+	// prefill→decode handoff; zero elsewhere).
+	XferUs float64 `json:"xfer_us,omitempty"`
 }
 
 // Add accumulates durUs into the bucket for ph.
@@ -57,12 +64,14 @@ func (p *PhaseBreakdown) Add(ph Phase, durUs float64) {
 		p.StallUs += durUs
 	case PhaseSwapped:
 		p.SwappedUs += durUs
+	case PhaseXferInst:
+		p.XferUs += durUs
 	}
 }
 
 // TotalUs sums the buckets — the end-to-end latency they attribute.
 func (p PhaseBreakdown) TotalUs() float64 {
-	return p.QueueUs + p.PrefillUs + p.DecodeUs + p.StallUs + p.SwappedUs
+	return p.QueueUs + p.PrefillUs + p.DecodeUs + p.StallUs + p.SwappedUs + p.XferUs
 }
 
 // Span is one node of a request's span tree: a named interval of
@@ -84,6 +93,7 @@ func (s *Span) DurUs() float64 { return s.EndUs - s.StartUs }
 const (
 	SpanXferD2H       = "xfer:d2h"
 	SpanXferH2D       = "xfer:h2d"
+	SpanXferInst      = "xfer:inst"
 	SpanDispatch      = "dispatch"
 	SpanHostPrefixHit = "host_prefix_hit"
 	SpanRetry         = "retry"
@@ -179,7 +189,13 @@ func (b *spanBuilder) feed(e Event) {
 	b.lastUs = t
 	switch e.Kind {
 	case KindOpen, KindDispatch:
-		b.begin(t, PhaseQueue)
+		if b.started && b.cur == PhaseXferInst {
+			// disaggregated decode side: the shipped KV landed and the
+			// adopted request enters this instance's pending queue
+			b.to(t, PhaseQueue)
+		} else {
+			b.begin(t, PhaseQueue)
+		}
 		if e.Kind == KindDispatch {
 			b.marker(SpanDispatch, t, 0)
 		}
@@ -187,11 +203,17 @@ func (b *spanBuilder) feed(e Event) {
 		b.begin(t, PhaseQueue)
 		b.marker(SpanHostPrefixHit, t, e.Bytes)
 	case KindAdmit:
+		ph := PhasePrefill
+		if e.Note == "adopt" {
+			// adopted prefilled sequence: its prompt pass already ran on
+			// the prefill instance, so admission here resumes decode
+			ph = PhaseDecode
+		}
 		if !b.started {
-			b.begin(t, PhasePrefill)
+			b.begin(t, ph)
 			return
 		}
-		b.to(t, PhasePrefill)
+		b.to(t, ph)
 	case KindFirstToken:
 		b.begin(t, PhasePrefill)
 		b.to(t, PhaseDecode)
@@ -208,6 +230,12 @@ func (b *spanBuilder) feed(e Event) {
 		b.begin(t, PhaseSwapped)
 		b.to(t, PhaseDecode)
 		b.xfer(SpanXferH2D, t, e.DurUs, e.Bytes)
+	case KindKVShip:
+		// disaggregated handoff, emitted against the destination
+		// instance: the decode side's tree opens in the xfer:inst phase,
+		// with the wire transfer recorded as a byte-carrying child span
+		b.begin(t, PhaseXferInst)
+		b.xfer(SpanXferInst, t, e.DurUs, e.Bytes)
 	case KindComplete:
 		b.begin(t, PhaseDecode)
 		b.finish(t)

@@ -59,6 +59,14 @@ const (
 	KindRetry   Kind = "retry"
 	KindRecover Kind = "recover"
 	KindFail    Kind = "fail"
+	// KindKVShip marks a disaggregated prefill→decode handoff: the
+	// finished prefill's compressed KV pages leaving the prefill
+	// instance for the chosen decode instance over the NIC. It is
+	// emitted against the *destination* instance (it opens the decode
+	// side's span tree with an xfer:inst span); Bytes is the packed
+	// payload crossing the wire, DurUs the modeled NICTransfer time, and
+	// Note names the source and pool link ("from=2 link=prefill>decode").
+	KindKVShip Kind = "kv_ship"
 	// KindAlert is a telemetry signal (internal/telemetry): a saturation
 	// scale-up/down advisory or an SLO burn-rate alert. Seq is 0 (it is a
 	// fleet event, not a request event); Inst is the 1-based instance for

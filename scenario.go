@@ -69,6 +69,20 @@ type ClusterSpec struct {
 	TPOTSLOSec         float64 `json:"tpot_slo_sec,omitempty"`
 }
 
+// DisaggSpec splits a cluster scenario into prefill/decode pools:
+// instances 1..PrefillPool run prompt passes only, the next DecodePool
+// instances adopt shipped prefills only, and any remainder serves
+// mixed. Each request becomes a prefill sub-request and a decode
+// sub-request joined by a compressed cross-instance KV transfer over
+// the device NIC model. Requires a cluster section with at least
+// PrefillPool+DecodePool instances; cannot be combined with faults.
+// Unless the cluster names a routing policy, disaggregated scenarios
+// default to disagg-aware routing.
+type DisaggSpec struct {
+	PrefillPool int `json:"prefill_pool"`
+	DecodePool  int `json:"decode_pool"`
+}
+
 // FaultsSpec declares the scenario's deterministic fault-injection
 // plan (cluster scenarios only): scheduled or rate-sampled instance
 // crashes, transient slowdowns, a PCIe transfer error rate, and the
@@ -256,6 +270,10 @@ type Scenario struct {
 	// Cluster, when present, builds a multi-instance cluster instead of a
 	// single server.
 	Cluster *ClusterSpec `json:"cluster,omitempty"`
+	// Disaggregation, when present, splits the cluster into prefill and
+	// decode pools joined by compressed cross-instance KV transfers
+	// (requires Cluster; excludes Faults).
+	Disaggregation *DisaggSpec `json:"disaggregation,omitempty"`
 	// Faults, when present, injects the declared fault plan into the
 	// cluster run (requires Cluster).
 	Faults *FaultsSpec `json:"faults,omitempty"`
@@ -345,6 +363,9 @@ func (s Scenario) withDefaults() Scenario {
 		cc := *c
 		if cc.Routing == "" {
 			cc.Routing = RouteRoundRobin
+			if s.Disaggregation != nil {
+				cc.Routing = RouteDisaggAware
+			}
 		}
 		s.Cluster = &cc
 	}
@@ -398,6 +419,16 @@ func (s Scenario) build(construct bool) (*Stack, error) {
 		// fault injection lives in the cluster event loop (health, routing,
 		// re-dispatch); a single server has no survivors to re-dispatch to
 		return nil, fmt.Errorf("diffkv: scenario: faults require a cluster section")
+	}
+	if d := s.Disaggregation; d != nil {
+		if s.Cluster == nil {
+			// the prefill and decode pools are cluster instances; a single
+			// server has nothing to ship KV between
+			return nil, fmt.Errorf("diffkv: scenario: disaggregation requires a cluster section")
+		}
+		if s.Faults != nil {
+			return nil, fmt.Errorf("diffkv: scenario: disaggregation cannot be combined with faults (transfer re-routing across crashed instances is not modeled)")
+		}
 	}
 	if o := s.Observability; o != nil {
 		for i, slo := range o.SLOs {
@@ -501,6 +532,9 @@ func clusterConfig(s Scenario, ec ServerConfig) ClusterServerConfig {
 	}
 	if s.Faults != nil {
 		cc.Faults = faultPlan(s)
+	}
+	if d := s.Disaggregation; d != nil {
+		cc.Disagg = &DisaggPools{PrefillInstances: d.PrefillPool, DecodeInstances: d.DecodePool}
 	}
 	return cc
 }

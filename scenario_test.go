@@ -97,6 +97,69 @@ func TestScenarioGoldenRoundTrip(t *testing.T) {
 	}
 }
 
+// goldenDisaggScenario pins the disaggregation section's wire format
+// separately: disaggregation excludes faults, so it cannot ride in
+// goldenScenario.
+var goldenDisaggScenario = Scenario{
+	Name:      "disagg-demo",
+	Model:     "Llama3-8B",
+	Method:    "DiffKV",
+	MemFrac:   0.3,
+	MaxGenLen: 256,
+	Workload: WorkloadSpec{
+		Bench:      "MMLU",
+		RatePerSec: 12,
+		Seconds:    20,
+	},
+	Cluster: &ClusterSpec{
+		Instances:  4,
+		TTFTSLOSec: 2,
+		TPOTSLOSec: 0.1,
+	},
+	Disaggregation: &DisaggSpec{PrefillPool: 2, DecodePool: 2},
+	Seed:           7,
+}
+
+// TestScenarioDisaggGoldenRoundTrip pins the disaggregation JSON wire
+// format the same way TestScenarioGoldenRoundTrip pins the rest of the
+// spec, and checks the unset-routing default resolves to disagg-aware.
+func TestScenarioDisaggGoldenRoundTrip(t *testing.T) {
+	path := filepath.Join("testdata", "scenario_disagg_golden.json")
+	got, err := json.MarshalIndent(&goldenDisaggScenario, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test -run GoldenRoundTrip -update` to create it)", err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("disagg scenario JSON drifted from golden:\n got: %s\nwant: %s", got, want)
+	}
+
+	parsed, err := ParseScenario(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(*parsed, goldenDisaggScenario) {
+		t.Fatalf("golden did not round-trip:\n got %+v\nwant %+v", *parsed, goldenDisaggScenario)
+	}
+	st, err := parsed.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Scenario.Cluster.Routing != RouteDisaggAware {
+		t.Fatalf("disaggregation with unset routing must default to %s, got %q",
+			RouteDisaggAware, st.Scenario.Cluster.Routing)
+	}
+}
+
 // TestScenarioStrictParsing: typos must fail loudly, not select defaults.
 func TestScenarioStrictParsing(t *testing.T) {
 	_, err := ParseScenario([]byte(`{"model": "Llama3-8B", "method": "vLLM",
@@ -136,6 +199,12 @@ func TestScenarioErrorFieldPaths(t *testing.T) {
 			  "workload": {"bench": "MATH"},
 			  "observability": {"debug": true, "trace_evnts": 100}}`,
 			`"observability.trace_evnts"`},
+		{"disaggregation unknown",
+			`{"model": "Llama3-8B", "method": "DiffKV",
+			  "workload": {"bench": "MATH"},
+			  "cluster": {"instances": 4},
+			  "disaggregation": {"prefil_pool": 2, "decode_pool": 2}}`,
+			`"disaggregation.prefil_pool"`},
 	} {
 		_, err := ParseScenario([]byte(tc.spec))
 		if err == nil || !strings.Contains(err.Error(), tc.wantPath) {
@@ -229,6 +298,18 @@ func TestScenarioValidation(t *testing.T) {
 		"faults-bad-error-rate": func(s *Scenario) {
 			s.Cluster = &ClusterSpec{Instances: 2}
 			s.Faults = &FaultsSpec{PCIeErrorRate: 1.5}
+		},
+		"disagg-no-cluster": func(s *Scenario) {
+			s.Disaggregation = &DisaggSpec{PrefillPool: 1, DecodePool: 1}
+		},
+		"disagg-with-faults": func(s *Scenario) {
+			s.Cluster = &ClusterSpec{Instances: 4}
+			s.Disaggregation = &DisaggSpec{PrefillPool: 2, DecodePool: 2}
+			s.Faults = &FaultsSpec{Crashes: []CrashSpec{{Instance: 1, AtSec: 1}}}
+		},
+		"disagg-pool-overflow": func(s *Scenario) {
+			s.Cluster = &ClusterSpec{Instances: 2}
+			s.Disaggregation = &DisaggSpec{PrefillPool: 2, DecodePool: 2}
 		},
 	} {
 		sc := base
